@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks for the §5.4 indexing strategies: per-query
+//! latency of the joint 2-D index vs separate 1-D indexes, on both query
+//! shapes. (The disk-access figures come from `cargo run --bin figure4/5`;
+//! this measures wall-clock on the same structures.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::workload;
+use cqa::index::strategy::{BoxQuery, IndexStrategy, JointIndex, SeparateIndices};
+use cqa::index::RStarParams;
+
+fn build(n: usize) -> (JointIndex, SeparateIndices, Vec<workload::Box2>) {
+    let data: Vec<workload::Box2> = workload::constraint_data(42).into_iter().take(n).collect();
+    let mut joint = JointIndex::new(RStarParams::fitting_page(2), workload::WORLD);
+    let mut sep = SeparateIndices::new(RStarParams::fitting_page(1));
+    for (i, b) in data.iter().enumerate() {
+        joint.insert(b.x, b.y, i as u64);
+        sep.insert(b.x, b.y, i as u64);
+    }
+    let queries = workload::queries(7, 64);
+    (joint, sep, queries)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (joint, sep, queries) = build(5000);
+    let mut group = c.benchmark_group("index_query");
+    group.bench_function(BenchmarkId::new("two_attr", "joint"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            joint.query(&BoxQuery::both(q.x, q.y))
+        })
+    });
+    group.bench_function(BenchmarkId::new("two_attr", "separate"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            sep.query(&BoxQuery::both(q.x, q.y))
+        })
+    });
+    group.bench_function(BenchmarkId::new("one_attr", "joint"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            joint.query(&BoxQuery::x_only(q.x))
+        })
+    });
+    group.bench_function(BenchmarkId::new("one_attr", "separate"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            sep.query(&BoxQuery::x_only(q.x))
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let data = workload::constraint_data(42);
+    c.bench_function("rstar_insert_1000", |b| {
+        b.iter(|| {
+            let mut joint = JointIndex::new(RStarParams::fitting_page(2), workload::WORLD);
+            for (i, d) in data.iter().take(1000).enumerate() {
+                joint.insert(d.x, d.y, i as u64);
+            }
+            joint
+        })
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Microbenchmarks for the exact-arithmetic substrate: the rationals do
+//! all the work in constraint evaluation, so their cost model matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqa::num::{BigInt, Rat};
+
+fn bench_bigint(c: &mut Criterion) {
+    let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+    let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+    c.bench_function("bigint_mul_39x30_digits", |bch| bch.iter(|| &a * &b));
+    let p = &a * &b;
+    c.bench_function("bigint_divrem", |bch| bch.iter(|| p.divrem(&b)));
+    c.bench_function("bigint_gcd", |bch| bch.iter(|| a.gcd(&b)));
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let a = Rat::from_pair(355, 113);
+    let b = Rat::from_pair(22, 7);
+    c.bench_function("rat_add", |bch| bch.iter(|| &a + &b));
+    c.bench_function("rat_mul", |bch| bch.iter(|| &a * &b));
+    c.bench_function("rat_cmp", |bch| bch.iter(|| a.cmp(&b)));
+    // Large components from repeated accumulation (the FM growth pattern).
+    let mut big = Rat::from_pair(1, 3);
+    for i in 1..50 {
+        big = &big * &Rat::from_pair(2 * i + 1, 2 * i - 1) + &Rat::from_pair(1, i);
+    }
+    let big2 = &big + &Rat::one();
+    c.bench_function("rat_mul_large", |bch| bch.iter(|| &big * &big2));
+}
+
+criterion_group!(benches, bench_bigint, bench_rat);
+criterion_main!(benches);

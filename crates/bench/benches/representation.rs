@@ -1,0 +1,62 @@
+//! §6 representation benchmarks: projection evaluated on the vector model
+//! (Example 8 — vertex extrema) vs on the constraint model (quantifier
+//! elimination over the convex decomposition), and the cost of converting
+//! between the two representations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqa::constraints::Var;
+use cqa::num::Rat;
+use cqa::spatial::convert::{dnf_to_geometries, project_extent};
+use cqa::spatial::decompose::geometry_to_dnf;
+use cqa::spatial::{Geometry, Point};
+
+/// A comb-shaped (highly concave) polygon with `teeth` teeth.
+fn comb(teeth: usize) -> Geometry {
+    let mut ring = vec![Point::from_ints(0, 0)];
+    for i in 0..teeth {
+        let x = (i * 4) as i64;
+        ring.push(Point::from_ints(x + 2, 0));
+        ring.push(Point::from_ints(x + 2, 8));
+        ring.push(Point::from_ints(x + 3, 8));
+        ring.push(Point::from_ints(x + 3, 0));
+    }
+    let right = (teeth * 4) as i64;
+    ring.push(Point::from_ints(right, 0));
+    ring.push(Point::from_ints(right, -4));
+    ring.push(Point::from_ints(0, -4));
+    Geometry::polygon(ring).unwrap()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let (vx, vy) = (Var(0), Var(1));
+    let geom = comb(12);
+    let dnf = geometry_to_dnf(&geom, vx, vy);
+
+    c.bench_function("project_vector_model", |b| b.iter(|| project_extent(&geom, 0)));
+    c.bench_function("project_constraint_model", |b| {
+        b.iter(|| {
+            let projected = dnf.eliminate([vy]);
+            let mut lo: Option<Rat> = None;
+            let mut hi: Option<Rat> = None;
+            for conj in projected.conjunctions() {
+                let bounds = conj.bounds(vx);
+                let l = bounds.lo().unwrap().value.clone();
+                let h = bounds.hi().unwrap().value.clone();
+                lo = Some(lo.map_or(l.clone(), |v: Rat| v.min(l)));
+                hi = Some(hi.map_or(h.clone(), |v: Rat| v.max(h)));
+            }
+            (lo, hi)
+        })
+    });
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let (vx, vy) = (Var(0), Var(1));
+    let geom = comb(12);
+    c.bench_function("vector_to_constraint", |b| b.iter(|| geometry_to_dnf(&geom, vx, vy)));
+    let dnf = geometry_to_dnf(&geom, vx, vy);
+    c.bench_function("constraint_to_vector", |b| b.iter(|| dnf_to_geometries(&dnf, vx, vy)));
+}
+
+criterion_group!(benches, bench_projection, bench_conversion);
+criterion_main!(benches);

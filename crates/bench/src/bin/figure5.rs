@@ -1,0 +1,37 @@
+//! Regenerates **Figure 5** of the paper: "Querying one attribute" — disk
+//! accesses vs. query length for the joint and separate strategies, on
+//! constraint data (experiment 2-A) and relational data (experiment 2-B).
+
+use cqa_bench::experiments::{experiment_one_attribute, summarize, DataKind};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2003);
+    println!("# Figure 5: queries involving one attribute (seed {})", seed);
+    println!("# expt 2-A: constraint attributes; expt 2-B: relational attributes");
+    for kind in [DataKind::Constraint, DataKind::Relational] {
+        let ms = experiment_one_attribute(kind, seed);
+        let s = summarize(&ms, 10);
+        println!();
+        println!("## {} attributes", kind.label());
+        println!("{:>14} {:>12} {:>14} {:>8}", "query_len<=", "joint_mean", "separate_mean", "queries");
+        for (ub, j, sep, c) in &s.buckets {
+            if *c == 0 {
+                continue;
+            }
+            println!("{:>14.1} {:>12.1} {:>14.1} {:>8}", ub, j, sep, c);
+        }
+        println!(
+            "overall means: joint = {:.1}, separate = {:.1}  (joint/separate = {:.2}x)",
+            s.means.0,
+            s.means.1,
+            s.means.0 / s.means.1
+        );
+    }
+    println!();
+    println!("# Paper's findings to compare against:");
+    println!("#  - separate indices win for one-attribute queries");
+    println!("#  - but by less than the joint index wins in Figure 4");
+}

@@ -1,0 +1,56 @@
+//! Timings for the five Hurricane case-study queries (§3.3): end-to-end
+//! parse + optimize + evaluate wall-clock per query, on the Figure 2
+//! instance scaled up by replicating the hurricane path into many
+//! segments (the paper: "in a real database, the hurricane path … would
+//! contain many more segments").
+
+use cqa::core::Catalog;
+use cqa::lang::schema_def::parse_cdb;
+use cqa::lang::ScriptRunner;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DATA: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data/hurricane.cdb");
+
+const QUERIES: &[(&str, &str)] = &[
+    ("Q1 owners of A", "R0 = select landId = \"A\" from Landownership\nR1 = project R0 on name, t\n"),
+    ("Q2 parcels hit", "R0 = join Hurricane and Land\nR1 = project R0 on landId\n"),
+    (
+        "Q3 hit in [4,9]",
+        "R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from Hurricane\nR2 = join R0 and R1\nR3 = project R2 on name\n",
+    ),
+    (
+        "Q4 hit, not Ann's",
+        "R0 = join Hurricane and Land\nR1 = project R0 on landId\nR2 = select name = \"Ann\" from Landownership\nR3 = project R2 on landId\nR4 = diff R1 and R3\n",
+    ),
+    ("Q5 when B was hit", "R0 = select landId = \"B\" from Land\nR1 = join Hurricane and R0\nR2 = project R1 on t\n"),
+];
+
+fn scaled_catalog(segments: usize) -> Catalog {
+    let mut source = std::fs::read_to_string(DATA).expect("hurricane.cdb present");
+    // Densify the hurricane path: split [0, 16] into `segments` pieces.
+    let mut extra = String::new();
+    for i in 0..segments {
+        let t0 = 16.0 * i as f64 / segments as f64;
+        let t1 = 16.0 * (i + 1) as f64 / segments as f64;
+        writeln!(extra, "tuple Hurricane {{ t >= {:.4}; t <= {:.4}; x = t; y = 2 }}", t0, t1).unwrap();
+    }
+    source.push_str(&extra);
+    let mut catalog = Catalog::new();
+    parse_cdb(&source).expect("valid file").load_into(&mut catalog);
+    catalog
+}
+
+fn main() {
+    for &segments in &[8usize, 32, 128] {
+        println!("# hurricane path with {} extra segments", segments);
+        for (name, script) in QUERIES {
+            let catalog = scaled_catalog(segments);
+            let mut runner = ScriptRunner::new(catalog);
+            let start = Instant::now();
+            let out = runner.run(script).expect("query runs");
+            let elapsed = start.elapsed();
+            println!("  {:<18} {:>8.2?}  ({} output tuple(s))", name, elapsed, out.len());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The five §5.4 experiments, as reusable functions.
+//!
+//! Each experiment builds the two §5.4 index configurations over the same
+//! data and replays the same queries against both, recording the paper's
+//! metric: the number of disk (node) accesses per query.
+
+use crate::workload::{self, Box2};
+use cqa::index::strategy::{BoxQuery, IndexStrategy, JointIndex, SeparateIndices};
+use cqa::index::RStarParams;
+
+/// Which §5.4 data variant an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    /// Constraint attributes: extents are proper boxes (experiments *-A).
+    Constraint,
+    /// Relational attributes: extents are points (experiments *-B).
+    Relational,
+}
+
+impl DataKind {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataKind::Constraint => "constraint",
+            DataKind::Relational => "relational",
+        }
+    }
+
+    fn data(self, seed: u64) -> Vec<Box2> {
+        match self {
+            DataKind::Constraint => workload::constraint_data(seed),
+            DataKind::Relational => workload::relational_data(seed),
+        }
+    }
+}
+
+/// One measured query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Query area (two-attribute experiments) or length (one-attribute).
+    pub size: f64,
+    /// Disk accesses with the joint 2-D index.
+    pub joint: u64,
+    /// Disk accesses with separate 1-D indexes (subquery sum).
+    pub separate: u64,
+    /// Number of matching tuples (identical under both strategies).
+    pub matches: usize,
+}
+
+/// Node fan-out used by the experiments.
+///
+/// The paper's Figures 4 and 5 report disk-access counts in the tens to
+/// hundreds for 10,000 tuples, which implies a node capacity far below
+/// what a modern 4 KiB page holds — consistent with the 2003-era Java
+/// implementation's object-header-laden entries. We calibrate to that
+/// regime so the *shape* comparison is meaningful; rerun with
+/// [`RStarParams::fitting_page`] to see the modern-page variant (the
+/// directions of all findings are unchanged, only the magnitudes move).
+pub const EXPERIMENT_FANOUT: usize = 20;
+
+/// Builds both index configurations over the same data.
+pub fn build_strategies(data: &[Box2]) -> (JointIndex, SeparateIndices) {
+    let params = RStarParams::with_max(EXPERIMENT_FANOUT);
+    let mut joint = JointIndex::new(params, workload::WORLD);
+    let mut separate = SeparateIndices::new(params);
+    for (i, b) in data.iter().enumerate() {
+        joint.insert(b.x, b.y, i as u64);
+        separate.insert(b.x, b.y, i as u64);
+    }
+    (joint, separate)
+}
+
+fn run_queries(
+    joint: &JointIndex,
+    separate: &SeparateIndices,
+    queries: impl IntoIterator<Item = (f64, BoxQuery)>,
+) -> Vec<Measurement> {
+    queries
+        .into_iter()
+        .map(|(size, q)| {
+            let a = joint.query(&q);
+            let b = separate.query(&q);
+            assert_eq!(a.ids, b.ids, "strategies must agree on answers");
+            Measurement { size, joint: a.accesses, separate: b.accesses, matches: a.ids.len() }
+        })
+        .collect()
+}
+
+/// Experiments 1-A / 1-B (Figure 4): queries involve both attributes.
+pub fn experiment_two_attributes(kind: DataKind, seed: u64) -> Vec<Measurement> {
+    let data = kind.data(seed);
+    let (joint, separate) = build_strategies(&data);
+    let qs = workload::queries(seed ^ 0x5EED, workload::NUM_QUERIES);
+    run_queries(
+        &joint,
+        &separate,
+        qs.iter().map(|q| (q.area(), BoxQuery::both(q.x, q.y))),
+    )
+}
+
+/// Experiments 2-A / 2-B (Figure 5): queries involve one attribute
+/// (alternating x and y, as the queries are i.i.d. either is fine).
+pub fn experiment_one_attribute(kind: DataKind, seed: u64) -> Vec<Measurement> {
+    let data = kind.data(seed);
+    let (joint, separate) = build_strategies(&data);
+    let qs = workload::queries(seed ^ 0x0111, workload::NUM_QUERIES);
+    run_queries(
+        &joint,
+        &separate,
+        qs.iter().enumerate().map(|(i, q)| {
+            if i % 2 == 0 {
+                (q.x_len(), BoxQuery::x_only(q.x))
+            } else {
+                (q.y_len(), BoxQuery::y_only(q.y))
+            }
+        }),
+    )
+}
+
+/// Experiment 3 (reconstructed; see DESIGN.md): 500 mixed queries — half
+/// constrain both attributes, a quarter x only, a quarter y only.
+pub fn experiment_mixed(kind: DataKind, seed: u64) -> Vec<Measurement> {
+    let data = kind.data(seed);
+    let (joint, separate) = build_strategies(&data);
+    let qs = workload::queries(seed ^ 0x3333, workload::NUM_QUERIES_EXPT3);
+    run_queries(
+        &joint,
+        &separate,
+        qs.iter().enumerate().map(|(i, q)| match i % 4 {
+            0 | 1 => (q.area(), BoxQuery::both(q.x, q.y)),
+            2 => (q.x_len(), BoxQuery::x_only(q.x)),
+            _ => (q.y_len(), BoxQuery::y_only(q.y)),
+        }),
+    )
+}
+
+/// The §5.3 scenario: two predicates that are individually unselective
+/// (each admits about half the tuples) but jointly admit almost none.
+/// Returns `(joint accesses, separate accesses, total tuples)` for the
+/// conjunctive query.
+pub fn selectivity_scenario(n: usize) -> (u64, u64, usize) {
+    let mut joint = JointIndex::new(RStarParams::fitting_page(2), (0.0, n as f64));
+    let mut separate = SeparateIndices::new(RStarParams::fitting_page(1));
+    let len = n as f64;
+    // Half the tuples hug the y-axis (x small, y anywhere), half hug the
+    // x-axis; so "x < a" admits ~half and "y < b" admits ~half, but the
+    // conjunction admits only the corner.
+    for i in 0..n as u64 {
+        let t = (i as f64) % len;
+        joint.insert((0.0, 1.0), (t, t + 1.0), i);
+        separate.insert((0.0, 1.0), (t, t + 1.0), i);
+        joint.insert((t, t + 1.0), (0.0, 1.0), n as u64 + i);
+        separate.insert((t, t + 1.0), (0.0, 1.0), n as u64 + i);
+    }
+    let q = BoxQuery::both((0.0, 2.0), (0.0, 2.0));
+    let a = joint.query(&q);
+    let b = separate.query(&q);
+    assert_eq!(a.ids, b.ids);
+    (a.accesses, b.accesses, 2 * n)
+}
+
+/// Summary statistics over measurements, bucketed by size for the figures.
+pub struct Summary {
+    /// `(bucket upper bound, mean joint accesses, mean separate accesses, count)`.
+    pub buckets: Vec<(f64, f64, f64, usize)>,
+    /// Mean accesses over all queries (joint, separate).
+    pub means: (f64, f64),
+}
+
+/// Buckets measurements by size into `nbuckets` equal-width bins.
+pub fn summarize(measurements: &[Measurement], nbuckets: usize) -> Summary {
+    let max = measurements.iter().map(|m| m.size).fold(0.0f64, f64::max);
+    let width = (max / nbuckets as f64).max(f64::MIN_POSITIVE);
+    let mut acc = vec![(0u64, 0u64, 0usize); nbuckets];
+    for m in measurements {
+        let idx = ((m.size / width) as usize).min(nbuckets - 1);
+        acc[idx].0 += m.joint;
+        acc[idx].1 += m.separate;
+        acc[idx].2 += 1;
+    }
+    let buckets = acc
+        .into_iter()
+        .enumerate()
+        .map(|(i, (j, s, c))| {
+            let denom = c.max(1) as f64;
+            ((i as f64 + 1.0) * width, j as f64 / denom, s as f64 / denom, c)
+        })
+        .collect();
+    let total_j: u64 = measurements.iter().map(|m| m.joint).sum();
+    let total_s: u64 = measurements.iter().map(|m| m.separate).sum();
+    let n = measurements.len().max(1) as f64;
+    Summary { buckets, means: (total_j as f64 / n, total_s as f64 / n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 4 shape: joint beats separate for two-attribute queries.
+    #[test]
+    fn figure4_shape_holds() {
+        for kind in [DataKind::Constraint, DataKind::Relational] {
+            let ms = experiment_two_attributes(kind, 42);
+            let s = summarize(&ms, 5);
+            assert!(
+                s.means.0 < s.means.1,
+                "{}: joint mean {} must beat separate mean {}",
+                kind.label(),
+                s.means.0,
+                s.means.1
+            );
+        }
+    }
+
+    /// Figure 5 shape: separate beats joint for one-attribute queries, by
+    /// less than the Figure 4 margin.
+    #[test]
+    fn figure5_shape_holds() {
+        let mut ratios = Vec::new();
+        for kind in [DataKind::Constraint, DataKind::Relational] {
+            let ms = experiment_one_attribute(kind, 42);
+            let s = summarize(&ms, 5);
+            assert!(
+                s.means.1 < s.means.0,
+                "{}: separate mean {} must beat joint mean {}",
+                kind.label(),
+                s.means.1,
+                s.means.0
+            );
+            ratios.push(s.means.0 / s.means.1);
+        }
+        // "this advantage is not as significant as the advantage of joint
+        // indices when queries use both attributes"
+        let ms4 = experiment_two_attributes(DataKind::Constraint, 42);
+        let s4 = summarize(&ms4, 5);
+        let fig4_ratio = s4.means.1 / s4.means.0;
+        for r in ratios {
+            assert!(r < fig4_ratio, "one-attr advantage {} < two-attr advantage {}", r, fig4_ratio);
+        }
+    }
+
+    /// §5.3: the low-selectivity conjunction turns linear into logarithmic.
+    #[test]
+    fn selectivity_scenario_shape() {
+        let (joint, separate, n) = selectivity_scenario(2000);
+        assert!(joint * 10 < separate, "joint {} vs separate {}", joint, separate);
+        // Joint stays near the tree height; separate scans a constant
+        // fraction of the leaves.
+        assert!((joint as usize) < n / 100);
+    }
+
+    #[test]
+    fn strategies_always_agree() {
+        // The assertion inside run_queries checks answer equality; this
+        // test just exercises it on the mixed workload.
+        let ms = experiment_mixed(DataKind::Constraint, 7);
+        assert_eq!(ms.len(), workload::NUM_QUERIES_EXPT3);
+    }
+}

@@ -1,0 +1,115 @@
+//! The §5.4 workload generator.
+//!
+//! Reproduced verbatim from the paper's protocol:
+//!
+//! 1. "Randomly generate 10,000 bounding boxes representing data tuples,
+//!    with height and width in `\[1,100\]`."
+//! 2. "Randomly generate 100 queries, which are rectangles of height and
+//!    width in `\[1,100\]`. … For experiment 3, generate 500 queries."
+//! 3. "All rectangles are obtained by randomly generating (a) the
+//!    upper-left coordinates, and (b) the height and width of each
+//!    rectangle. All coordinates are between `\[0, 3000\]`."
+//!
+//! The relational variants (experiments 1-B and 2-B) use point data: a
+//! relational attribute holds a single value per tuple, which is a
+//! degenerate (zero-extent) box.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-attribute tuple extent: per-attribute `[lo, hi]` intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Box2 {
+    /// Extent in the first attribute.
+    pub x: (f64, f64),
+    /// Extent in the second attribute.
+    pub y: (f64, f64),
+}
+
+/// The coordinate domain of §5.4.
+pub const COORD_MAX: f64 = 3000.0;
+/// Maximum rectangle extent of §5.4.
+pub const EXTENT_MAX: f64 = 100.0;
+/// The world bounds used for unconstrained attributes (min to max).
+pub const WORLD: (f64, f64) = (0.0, COORD_MAX + EXTENT_MAX);
+
+/// Number of data tuples in the paper's experiments.
+pub const NUM_DATA: usize = 10_000;
+/// Number of queries in experiments 1 and 2.
+pub const NUM_QUERIES: usize = 100;
+/// Number of queries in experiment 3.
+pub const NUM_QUERIES_EXPT3: usize = 500;
+
+fn random_box(rng: &mut StdRng) -> Box2 {
+    let x = rng.gen_range(0.0..=COORD_MAX);
+    let y = rng.gen_range(0.0..=COORD_MAX);
+    let w = rng.gen_range(1.0..=EXTENT_MAX);
+    let h = rng.gen_range(1.0..=EXTENT_MAX);
+    Box2 { x: (x, x + w), y: (y, y + h) }
+}
+
+fn random_point(rng: &mut StdRng) -> Box2 {
+    let x = rng.gen_range(0.0..=COORD_MAX);
+    let y = rng.gen_range(0.0..=COORD_MAX);
+    Box2 { x: (x, x), y: (y, y) }
+}
+
+/// The data file: `NUM_DATA` constraint-attribute extents (bounding boxes).
+pub fn constraint_data(seed: u64) -> Vec<Box2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..NUM_DATA).map(|_| random_box(&mut rng)).collect()
+}
+
+/// The data file for the relational experiments: point tuples.
+pub fn relational_data(seed: u64) -> Vec<Box2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..NUM_DATA).map(|_| random_point(&mut rng)).collect()
+}
+
+/// The query file: `n` query rectangles.
+pub fn queries(seed: u64, n: usize) -> Vec<Box2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_box(&mut rng)).collect()
+}
+
+impl Box2 {
+    /// Query area (the Figure 4 x-axis).
+    pub fn area(&self) -> f64 {
+        (self.x.1 - self.x.0) * (self.y.1 - self.y.0)
+    }
+
+    /// Extent length in attribute 0 (the Figure 5 x-axis for x-queries).
+    pub fn x_len(&self) -> f64 {
+        self.x.1 - self.x.0
+    }
+
+    /// Extent length in attribute 1.
+    pub fn y_len(&self) -> f64 {
+        self.y.1 - self.y.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_shapes() {
+        let data = constraint_data(42);
+        assert_eq!(data.len(), NUM_DATA);
+        for b in &data {
+            assert!(b.x.0 >= 0.0 && b.x.0 <= COORD_MAX);
+            assert!(b.x.1 - b.x.0 >= 1.0 && b.x.1 - b.x.0 <= EXTENT_MAX);
+            assert!(b.y.1 - b.y.0 >= 1.0 && b.y.1 - b.y.0 <= EXTENT_MAX);
+        }
+        let pts = relational_data(42);
+        assert!(pts.iter().all(|b| b.x.0 == b.x.1 && b.y.0 == b.y.1));
+        assert_eq!(queries(7, NUM_QUERIES_EXPT3).len(), 500);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(constraint_data(1), constraint_data(1));
+        assert_ne!(constraint_data(1), constraint_data(2));
+    }
+}

@@ -1,0 +1,243 @@
+//! `cqa-shell` — an interactive shell for CQA/CDB.
+//!
+//! Usage:
+//!
+//! ```text
+//! cqa-shell [data.cdb ...] [--script queries.cqa]
+//! ```
+//!
+//! Loads the given `.cdb` files into the catalog, runs `--script` files
+//! non-interactively if given, then (on a TTY or pipe) reads statements
+//! from stdin, one per line, in the paper's §3.3 syntax:
+//!
+//! ```text
+//! cqa> R0 = select landId = "A" from Landownership
+//! cqa> R1 = project R0 on name, t
+//! ```
+//!
+//! Meta-commands: `\list` (relations), `\schema NAME`, `\show NAME`,
+//! `\plan STATEMENT` (optimized plan), `\load FILE.cdb`, `\help`, `\quit`.
+
+use cqa::core::{exec, optimizer, Catalog};
+use cqa::lang::lower::lower_expr;
+use cqa::lang::parse::parse_script;
+use cqa::lang::schema_def::parse_cdb;
+use cqa::lang::ScriptRunner;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let mut scripts: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--script" => match args.next() {
+                Some(path) => scripts.push(path),
+                None => {
+                    eprintln!("--script needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: cqa-shell [data.cdb ...] [--script queries.cqa]");
+                return;
+            }
+            path => {
+                if let Err(e) = load_cdb(&mut catalog, path) {
+                    eprintln!("error loading {}: {}", path, e);
+                    std::process::exit(1);
+                }
+                println!("loaded {}", path);
+            }
+        }
+    }
+
+    let mut runner = ScriptRunner::new(catalog);
+    for path in scripts {
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match runner.run(&src) {
+                Ok(result) => {
+                    println!("# {} =>", path);
+                    print!("{}", result);
+                }
+                Err(e) => {
+                    eprintln!("error in {}: {}", path, e);
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {}: {}", path, e);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    repl(&mut runner);
+}
+
+fn load_cdb(catalog: &mut Catalog, path: &str) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_cdb(&src).map_err(|e| e.to_string())?.load_into(catalog);
+    Ok(())
+}
+
+fn repl(runner: &mut ScriptRunner) {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let interactive = is_tty();
+    loop {
+        if interactive {
+            print!("cqa> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {}", e);
+                return;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            if !meta_command(runner, rest) {
+                return;
+            }
+            continue;
+        }
+        match runner.run(&format!("{}\n", line)) {
+            Ok(result) => print!("{}", result),
+            Err(e) => eprintln!("error: {}", e),
+        }
+    }
+}
+
+/// Handles a meta command; returns false to quit.
+fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
+    let (head, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim()),
+        None => (cmd, ""),
+    };
+    match head {
+        "quit" | "q" => return false,
+        "help" | "?" => {
+            println!("statements:  NAME = select COND, ... from REL");
+            println!("             NAME = project REL on attr, ...");
+            println!("             NAME = join|union|diff A and B");
+            println!("             NAME = rename a to b in REL");
+            println!("             NAME = bufferjoin A and B distance D");
+            println!("             NAME = knearest A and B k N");
+            println!("ddl/dml:     create relation NAME {{ attr: type kind; ... }}");
+            println!("             insert into NAME {{ conds }}");
+            println!("             drop NAME");
+            println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT  \\trace STMT");
+            println!("             \\load FILE.cdb  \\save DIR  \\open DIR  \\quit");
+        }
+        "list" | "l" => {
+            for name in runner.catalog().names() {
+                let rel = runner.catalog().get(name).expect("listed");
+                println!("{}  {} ({} tuples)", name, rel.schema(), rel.len());
+            }
+            for name in runner.catalog().spatial_names() {
+                let rel = runner.catalog().get_spatial(name).expect("listed");
+                println!("{}  (spatial, {} features)", name, rel.len());
+            }
+        }
+        "schema" => match runner.catalog().get(rest) {
+            Ok(rel) => println!("{}", rel.schema()),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "show" => match runner.catalog().get(rest) {
+            Ok(rel) => print!("{}", rel),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "trace" => match parse_script(&format!("{}\n", rest)) {
+            Ok(script) if script.statements.len() == 1 => {
+                let stmt = &script.statements[0];
+                let Some((expr, line)) = stmt_query(stmt) else {
+                    eprintln!("\\trace takes a query statement");
+                    return true;
+                };
+                match lower_expr(expr, line)
+                    .map_err(|e| e.to_string())
+                    .and_then(|plan| {
+                        optimizer::optimize(&plan, runner.catalog()).map_err(|e| e.to_string())
+                    })
+                    .and_then(|plan| {
+                        exec::execute_traced(&plan, runner.catalog()).map_err(|e| e.to_string())
+                    }) {
+                    Ok((result, trace)) => {
+                        print!("{}", trace);
+                        print!("{}", result);
+                    }
+                    Err(e) => eprintln!("error: {}", e),
+                }
+            }
+            Ok(_) => eprintln!("\\trace takes exactly one statement"),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "plan" => match parse_script(&format!("{}\n", rest)) {
+            Ok(script) if script.statements.len() == 1 => {
+                let stmt = &script.statements[0];
+                let Some((expr, line)) = stmt_query(stmt) else {
+                    eprintln!("\\plan takes a query statement");
+                    return true;
+                };
+                match lower_expr(expr, line) {
+                    Ok(plan) => match optimizer::optimize(&plan, runner.catalog()) {
+                        Ok(optimized) => {
+                            println!("unoptimized:\n{}", plan);
+                            println!("optimized:\n{}", optimized);
+                        }
+                        Err(e) => eprintln!("error: {}", e),
+                    },
+                    Err(e) => eprintln!("error: {}", e),
+                }
+            }
+            Ok(_) => eprintln!("\\plan takes exactly one statement"),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "load" => match load_cdb(runner.catalog_mut(), rest) {
+            Ok(()) => println!("loaded {}", rest),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "save" => match cqa::lang::db::save_catalog(runner.catalog(), rest) {
+            Ok(()) => println!("saved database to {}", rest),
+            Err(e) => eprintln!("error: {}", e),
+        },
+        "open" => match cqa::lang::db::open_catalog(rest) {
+            Ok(catalog) => {
+                *runner = ScriptRunner::new(catalog);
+                println!("opened database {}", rest);
+            }
+            Err(e) => eprintln!("error: {}", e),
+        },
+        other => eprintln!("unknown meta command \\{} (try \\help)", other),
+    }
+    true
+}
+
+fn stmt_query(
+    stmt: &cqa::lang::ast::Statement,
+) -> Option<(&cqa::lang::ast::QueryExpr, usize)> {
+    match stmt {
+        cqa::lang::ast::Statement::Query { expr, line, .. } => Some((expr, *line)),
+        _ => None,
+    }
+}
+
+#[cfg(unix)]
+fn is_tty() -> bool {
+    // Avoid a libc dependency: /proc-free heuristic via isatty on fd 0
+    // is unavailable without libc, so fall back to the TERM heuristic.
+    std::env::var_os("TERM").is_some() && std::env::var_os("CQA_NONINTERACTIVE").is_none()
+}
+
+#[cfg(not(unix))]
+fn is_tty() -> bool {
+    true
+}

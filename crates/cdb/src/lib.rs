@@ -1,0 +1,57 @@
+//! # cqa — CQA/CDB, a rational linear constraint database system
+//!
+//! A from-scratch Rust implementation of the CQA/CDB system described in
+//! *"The Constraint Database Framework: Lessons Learned from CQA/CDB"*
+//! (Goldin, Kutlu, Song, Yang — ICDE 2003) and its companion paper
+//! *"Extending the Constraint Database Framework"* (PCK50 2003).
+//!
+//! Constraint databases finitely represent infinite point sets: a tuple is
+//! a conjunction of rational linear constraints, a relation is a disjunction
+//! of tuples, and the Constraint Query Algebra (select, project, join,
+//! union, rename, difference) evaluates queries in closed form. This crate
+//! re-exports the whole system:
+//!
+//! * [`num`] — arbitrary-precision integers and exact rationals;
+//! * [`constraints`] — linear constraints, Fourier–Motzkin elimination,
+//!   DNF formulas, and the dense-order constraint class;
+//! * [`storage`] — pages, buffer pool with disk-access accounting, heap
+//!   files;
+//! * [`index`] — the R\*-tree, joint vs. separate indexing strategies, and
+//!   the index advisor;
+//! * [`spatial`] — vector geometry, convex decomposition, constraint ⇄
+//!   vector conversion, Buffer-Join, and k-Nearest;
+//! * [`core`] — the heterogeneous data model (C/R flags), the six CQA
+//!   operators, plans, optimizer, evaluator, and safety checking;
+//! * [`lang`] — the ASCII query-script language and the `.cdb` data format.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqa::lang::{schema_def::parse_cdb, ScriptRunner};
+//! use cqa::core::Catalog;
+//!
+//! let mut catalog = Catalog::new();
+//! parse_cdb(r#"
+//!     relation Land {
+//!         landId: string relational;
+//!         x: rational constraint;
+//!         y: rational constraint;
+//!     }
+//!     tuple Land { landId = "A"; 0 <= x; x <= 2; 3 <= y; y <= 6 }
+//! "#).unwrap().load_into(&mut catalog);
+//!
+//! let mut runner = ScriptRunner::new(catalog);
+//! let result = runner.run(
+//!     "R0 = select x >= 1 from Land\n\
+//!      R1 = project R0 on landId\n",
+//! ).unwrap();
+//! assert_eq!(result.len(), 1);
+//! ```
+
+pub use cqa_constraints as constraints;
+pub use cqa_core as core;
+pub use cqa_index as index;
+pub use cqa_lang as lang;
+pub use cqa_num as num;
+pub use cqa_spatial as spatial;
+pub use cqa_storage as storage;

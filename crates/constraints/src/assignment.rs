@@ -1,0 +1,99 @@
+//! Variable assignments — the semantic (set-of-points) side of the model.
+//!
+//! A constraint tuple *denotes* the set of assignments satisfying its
+//! formula (Definition 1 of the paper); an [`Assignment`] is one candidate
+//! point of `Dᵏ`.
+
+use crate::var::Var;
+use cqa_num::Rat;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A partial mapping from variables to rational values.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: BTreeMap<Var, Rat>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Builds an assignment from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Rat)>) -> Assignment {
+        Assignment { map: pairs.into_iter().collect() }
+    }
+
+    /// Sets `v := value`, replacing any previous binding.
+    pub fn set(&mut self, v: Var, value: Rat) {
+        self.map.insert(v, value);
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Rat> {
+        self.map.get(&v)
+    }
+
+    /// Whether `v` is bound.
+    pub fn binds(&self, v: Var) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Iterates over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Rat)> + '_ {
+        self.map.iter().map(|(v, r)| (*v, r))
+    }
+
+    /// Restricts the assignment to the given variables.
+    pub fn restrict(&self, vars: impl IntoIterator<Item = Var>) -> Assignment {
+        let keep: std::collections::BTreeSet<Var> = vars.into_iter().collect();
+        Assignment {
+            map: self.map.iter().filter(|(v, _)| keep.contains(v)).map(|(v, r)| (*v, r.clone())).collect(),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, r)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", v, r)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_restrict() {
+        let mut a = Assignment::new();
+        assert!(a.is_empty());
+        a.set(Var(0), Rat::from_int(1));
+        a.set(Var(1), Rat::from_int(2));
+        a.set(Var(0), Rat::from_int(3)); // overwrite
+        assert_eq!(a.get(Var(0)), Some(&Rat::from_int(3)));
+        assert_eq!(a.len(), 2);
+        let r = a.restrict([Var(1)]);
+        assert!(!r.binds(Var(0)));
+        assert_eq!(r.get(Var(1)), Some(&Rat::from_int(2)));
+        assert_eq!(format!("{:?}", r), "{v1=2}");
+    }
+}

@@ -1,0 +1,337 @@
+//! Disjunctive normal forms — the body of a constraint relation.
+//!
+//! Per Definition 2 of the paper, the formula of a constraint relation is
+//! the *disjunction* of the formulas of its constraint tuples, i.e. a
+//! first-order formula in DNF. [`Dnf`] provides the closure operations the
+//! Constraint Query Algebra needs at the relation level: union,
+//! intersection, **negation** (needed by the difference operator),
+//! projection, and satisfiability.
+
+use crate::assignment::Assignment;
+use crate::atom::Atom;
+use crate::conj::Conjunction;
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A disjunction of conjunctions of linear constraint atoms.
+///
+/// The empty disjunction is `false`; a disjunction containing the empty
+/// conjunction is `true`.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Dnf {
+    conjs: Vec<Conjunction>,
+}
+
+impl Dnf {
+    /// The unsatisfiable formula `false` (no disjuncts).
+    pub fn fals() -> Dnf {
+        Dnf::default()
+    }
+
+    /// The valid formula `true` (one empty disjunct).
+    pub fn tru() -> Dnf {
+        Dnf { conjs: vec![Conjunction::tru()] }
+    }
+
+    /// A single-disjunct formula.
+    pub fn from_conjunction(c: Conjunction) -> Dnf {
+        Dnf { conjs: vec![c] }
+    }
+
+    /// Builds from disjuncts, dropping trivially false ones.
+    pub fn from_conjunctions(cs: impl IntoIterator<Item = Conjunction>) -> Dnf {
+        Dnf { conjs: cs.into_iter().filter(|c| !c.is_trivially_false()).collect() }
+    }
+
+    /// The disjuncts.
+    pub fn conjunctions(&self) -> &[Conjunction] {
+        &self.conjs
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.conjs.len()
+    }
+
+    /// Whether there are no disjuncts (syntactically false).
+    pub fn is_empty(&self) -> bool {
+        self.conjs.is_empty()
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.conjs.iter().flat_map(|c| c.vars()).collect()
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        Dnf::from_conjunctions(self.conjs.iter().chain(&other.conjs).cloned())
+    }
+
+    /// Conjunction: the cross product of disjuncts, unsatisfiable products
+    /// dropped eagerly.
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        let mut out = Vec::new();
+        for a in &self.conjs {
+            for b in &other.conjs {
+                let c = a.and(b);
+                if !c.is_trivially_false() && c.is_satisfiable() {
+                    out.push(c);
+                }
+            }
+        }
+        Dnf { conjs: out }
+    }
+
+    /// Negation, re-normalized to DNF.
+    ///
+    /// `¬(C₁ ∨ … ∨ Cₙ) = ¬C₁ ∧ … ∧ ¬Cₙ`, and each `¬Cᵢ` is the disjunction
+    /// of its atoms' negations; the conjunction of those disjunctions is
+    /// expanded by distribution. This is worst-case exponential — which is
+    /// exactly why the paper treats the difference operator (the only CQA
+    /// operator that needs negation) as the expensive one.
+    pub fn negate(&self) -> Dnf {
+        let mut acc = Dnf::tru();
+        for c in &self.conjs {
+            // ¬C = ∨_{atom a ∈ C} ¬a   (each ¬a is 1–2 atoms)
+            let mut neg_c = Vec::new();
+            if c.is_empty() {
+                return Dnf::fals(); // ¬true = false
+            }
+            for atom in c.atoms() {
+                for n in atom.negate() {
+                    neg_c.push(Conjunction::from_atoms([n]));
+                }
+            }
+            acc = acc.and(&Dnf::from_conjunctions(neg_c));
+            if acc.is_empty() {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Set difference `self ∧ ¬other`.
+    pub fn minus(&self, other: &Dnf) -> Dnf {
+        self.and(&other.negate())
+    }
+
+    /// Projects out `vars` from every disjunct (∃ distributes over ∨).
+    pub fn eliminate(&self, vars: impl IntoIterator<Item = Var> + Clone) -> Dnf {
+        Dnf::from_conjunctions(self.conjs.iter().map(|c| c.eliminate(vars.clone())))
+    }
+
+    /// Whether some disjunct is satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        self.conjs.iter().any(|c| c.is_satisfiable())
+    }
+
+    /// Point membership: true iff some disjunct is satisfied. `None` if the
+    /// assignment misses a variable of a disjunct that is not already
+    /// decided by the bound ones.
+    pub fn eval(&self, a: &Assignment) -> Option<bool> {
+        let mut any_unknown = false;
+        for c in &self.conjs {
+            match c.eval(a) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Drops unsatisfiable disjuncts and disjuncts absorbed by another
+    /// (i.e. whose point set is contained in another disjunct's).
+    pub fn normalize(&self) -> Dnf {
+        let sat: Vec<Conjunction> =
+            self.conjs.iter().filter(|c| c.is_satisfiable()).map(|c| c.simplify()).collect();
+        let mut keep: Vec<bool> = vec![true; sat.len()];
+        for i in 0..sat.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..sat.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                // Drop i if i ⊆ j (prefer dropping the later of equals).
+                if sat[i].implies(&sat[j]) && (!sat[j].implies(&sat[i]) || j < i) {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        Dnf {
+            conjs: sat
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(c, _)| c)
+                .collect(),
+        }
+    }
+
+    /// Whether every point of `self` is a point of `other`.
+    /// Exact but potentially expensive (uses negation).
+    pub fn contained_in(&self, other: &Dnf) -> bool {
+        !self.minus(other).is_satisfiable()
+    }
+
+    /// Semantic equivalence.
+    pub fn equivalent(&self, other: &Dnf) -> bool {
+        self.contained_in(other) && other.contained_in(self)
+    }
+
+    /// Adds an atom to every disjunct (conjunction with a single atom).
+    pub fn with_atom(&self, atom: &Atom) -> Dnf {
+        Dnf::from_conjunctions(self.conjs.iter().map(|c| {
+            let mut c = c.clone();
+            c.add(atom.clone());
+            c
+        }))
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjs.is_empty() {
+            return f.write_str("false");
+        }
+        for (i, c) in self.conjs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" or ")?;
+            }
+            write!(f, "({})", c)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dnf({})", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use cqa_num::Rat;
+
+    fn x() -> Var {
+        Var(0)
+    }
+    fn ri(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+    fn between(v: Var, lo: i64, hi: i64) -> Conjunction {
+        Conjunction::from_atoms([
+            Atom::ge(LinExpr::var(v), LinExpr::constant_int(lo)),
+            Atom::le(LinExpr::var(v), LinExpr::constant_int(hi)),
+        ])
+    }
+    fn holds(d: &Dnf, v: i64) -> bool {
+        d.eval(&Assignment::from_pairs([(x(), ri(v))])).unwrap()
+    }
+
+    #[test]
+    fn truth_constants() {
+        assert!(!Dnf::fals().is_satisfiable());
+        assert!(Dnf::tru().is_satisfiable());
+        assert_eq!(Dnf::tru().negate(), Dnf::fals());
+        assert!(Dnf::fals().negate().equivalent(&Dnf::tru()));
+    }
+
+    #[test]
+    fn union_and_membership() {
+        let d = Dnf::from_conjunctions([between(x(), 0, 1), between(x(), 5, 6)]);
+        assert!(holds(&d, 0));
+        assert!(holds(&d, 6));
+        assert!(!holds(&d, 3));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Dnf::from_conjunction(between(x(), 0, 10));
+        let b = Dnf::from_conjunctions([between(x(), 5, 15), between(x(), -5, -1)]);
+        let i = a.and(&b);
+        assert!(holds(&i, 7));
+        assert!(!holds(&i, 2)); // only in a
+        assert!(!holds(&i, -3)); // a ∧ [-5,-1] is unsat, dropped
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn negation_complements_pointwise() {
+        let d = Dnf::from_conjunctions([between(x(), 0, 2), between(x(), 5, 6)]);
+        let n = d.negate();
+        for v in -2..9 {
+            assert_eq!(holds(&n, v), !holds(&d, v), "at {}", v);
+        }
+    }
+
+    #[test]
+    fn difference() {
+        let a = Dnf::from_conjunction(between(x(), 0, 10));
+        let b = Dnf::from_conjunction(between(x(), 3, 5));
+        let diff = a.minus(&b);
+        assert!(holds(&diff, 1));
+        assert!(!holds(&diff, 4));
+        assert!(holds(&diff, 9));
+        // Difference with self is empty.
+        assert!(!a.minus(&a).is_satisfiable());
+    }
+
+    #[test]
+    fn containment_and_equivalence() {
+        let small = Dnf::from_conjunction(between(x(), 2, 3));
+        let big = Dnf::from_conjunction(between(x(), 0, 10));
+        assert!(small.contained_in(&big));
+        assert!(!big.contained_in(&small));
+        let split = Dnf::from_conjunctions([between(x(), 0, 5), between(x(), 5, 10)]);
+        assert!(split.equivalent(&big));
+    }
+
+    #[test]
+    fn normalize_absorbs() {
+        let d = Dnf::from_conjunctions([
+            between(x(), 0, 10),
+            between(x(), 2, 3), // absorbed
+            Conjunction::from_atoms([
+                Atom::ge(LinExpr::var(x()), LinExpr::constant_int(5)),
+                Atom::le(LinExpr::var(x()), LinExpr::constant_int(4)),
+            ]), // unsat
+        ]);
+        let n = d.normalize();
+        assert_eq!(n.len(), 1);
+        assert!(n.equivalent(&d));
+    }
+
+    #[test]
+    fn projection_distributes() {
+        let y = Var(1);
+        let c1 = Conjunction::from_atoms([
+            Atom::ge(LinExpr::var(x()), LinExpr::var(y)),
+            Atom::ge(LinExpr::var(y), LinExpr::constant_int(3)),
+        ]);
+        let c2 = between(x(), 0, 1);
+        let d = Dnf::from_conjunctions([c1, c2]).eliminate([y]);
+        assert!(holds(&d, 5)); // from c1: x ≥ 3
+        assert!(holds(&d, 1)); // from c2
+        assert!(!holds(&d, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dnf::fals().to_string(), "false");
+        let d = Dnf::from_conjunction(between(x(), 0, 1));
+        assert!(d.to_string().starts_with('('));
+    }
+}

@@ -1,0 +1,41 @@
+//! Constraint variables.
+//!
+//! Variables are opaque integer identifiers. Higher layers (the
+//! heterogeneous data model in `cqa-core`) decide what a variable *means* —
+//! typically it names a constraint attribute of a relation schema — and own
+//! the mapping from attribute names to [`Var`]s.
+
+use std::fmt;
+
+/// A constraint variable, identified by a small integer.
+///
+/// The `Ord` instance is used pervasively to keep expressions and atom sets
+/// in canonical order, so equal formulas compare structurally equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The identifier.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_id() {
+        assert!(Var(0) < Var(1));
+        assert_eq!(Var(3), Var(3));
+        assert_eq!(Var(7).to_string(), "v7");
+        assert_eq!(Var(7).id(), 7);
+    }
+}

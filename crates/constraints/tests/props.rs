@@ -1,0 +1,224 @@
+//! Property-based tests for the constraint layer.
+//!
+//! The key soundness property is the closure principle of §2.5: syntactic
+//! operations on constraint representations must agree with the semantic
+//! (set-of-points) operations. We check this by sampling random small
+//! conjunctions/formulas and random rational points, and comparing the
+//! results of syntactic manipulation against pointwise evaluation.
+
+use cqa_constraints::{Assignment, Atom, Conjunction, Dnf, LinExpr, Var};
+use cqa_num::Rat;
+use proptest::prelude::*;
+
+const X: Var = Var(0);
+const Y: Var = Var(1);
+const Z: Var = Var(2);
+
+/// A small rational from compact parts, so random points often hit
+/// constraint boundaries.
+fn rat(n: i32, d: u8) -> Rat {
+    Rat::from_pair(n as i64, d as i64 % 4 + 1)
+}
+
+/// Strategy: one random atom over x, y, z with small coefficients.
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        -3i32..=3,
+        -3i32..=3,
+        -3i32..=3,
+        -6i32..=6,
+        0u8..3,
+    )
+        .prop_filter("nontrivial", |(a, b, c, _, _)| *a != 0 || *b != 0 || *c != 0)
+        .prop_map(|(a, b, c, k, rel)| {
+            let e = LinExpr::from_terms(
+                [
+                    (X, Rat::from_int(a as i64)),
+                    (Y, Rat::from_int(b as i64)),
+                    (Z, Rat::from_int(c as i64)),
+                ],
+                Rat::from_int(k as i64),
+            );
+            match rel {
+                0 => Atom::new(e, cqa_constraints::Rel::Le),
+                1 => Atom::new(e, cqa_constraints::Rel::Lt),
+                _ => Atom::new(e, cqa_constraints::Rel::Eq),
+            }
+        })
+}
+
+fn arb_conj(max_atoms: usize) -> impl Strategy<Value = Conjunction> {
+    prop::collection::vec(arb_atom(), 0..=max_atoms).prop_map(Conjunction::from_atoms)
+}
+
+fn arb_point() -> impl Strategy<Value = Assignment> {
+    (-4i32..=4, 0u8..4, -4i32..=4, 0u8..4, -4i32..=4, 0u8..4).prop_map(|(a, ad, b, bd, c, cd)| {
+        Assignment::from_pairs([(X, rat(a, ad)), (Y, rat(b, bd)), (Z, rat(c, cd))])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// If a point satisfies the conjunction, the conjunction is satisfiable.
+    #[test]
+    fn sat_is_sound(c in arb_conj(4), p in arb_point()) {
+        if c.eval(&p) == Some(true) {
+            prop_assert!(c.is_satisfiable());
+        }
+    }
+
+    /// Projection is the shadow: a satisfying point of C restricted to the
+    /// remaining variables satisfies ∃z.C, and an unsatisfiable projection
+    /// means no point satisfies C.
+    #[test]
+    fn projection_soundness(c in arb_conj(4), p in arb_point()) {
+        let projected = c.eliminate([Z]);
+        if c.eval(&p) == Some(true) {
+            let restricted = p.restrict([X, Y]);
+            // The projection mentions only x, y, so eval is decided.
+            prop_assert_eq!(projected.eval(&restricted), Some(true));
+        }
+        if !projected.is_satisfiable() {
+            prop_assert!(!c.is_satisfiable());
+        }
+    }
+
+    /// Projection is exact (not just an over-approximation): every point of
+    /// the projection extends to a witness. We verify via sample_point on
+    /// the extension problem.
+    #[test]
+    fn projection_completeness(c in arb_conj(3), p in arb_point()) {
+        let projected = c.eliminate([Z]);
+        let restricted = p.restrict([X, Y]);
+        if projected.eval(&restricted) == Some(true) {
+            // Fix x, y at the point; the z-problem must be satisfiable.
+            let mut fixed = c.clone();
+            fixed = fixed.substitute(X, &LinExpr::constant(p.get(X).unwrap().clone()));
+            fixed = fixed.substitute(Y, &LinExpr::constant(p.get(Y).unwrap().clone()));
+            prop_assert!(fixed.is_satisfiable(),
+                "projection said ({:?}) extends, but it does not; conj = {}", restricted, c);
+        }
+    }
+
+    /// sample_point returns a genuine witness whenever it returns at all,
+    /// and returns None only for unsatisfiable conjunctions.
+    #[test]
+    fn sample_point_is_witness(c in arb_conj(4)) {
+        match c.sample_point(&[X, Y, Z]) {
+            Some(p) => prop_assert_eq!(c.eval(&p), Some(true)),
+            None => prop_assert!(!c.is_satisfiable()),
+        }
+    }
+
+    /// Entailment agrees with pointwise implication on sampled points.
+    #[test]
+    fn entailment_sound(c in arb_conj(3), a in arb_atom(), p in arb_point()) {
+        if c.implies_atom(&a) && c.eval(&p) == Some(true) {
+            prop_assert_eq!(a.eval(&p), Some(true));
+        }
+    }
+
+    /// simplify preserves semantics.
+    #[test]
+    fn simplify_preserves_semantics(c in arb_conj(4), p in arb_point()) {
+        let s = c.simplify();
+        prop_assert_eq!(s.eval(&p).unwrap_or(false), c.eval(&p).unwrap_or(false));
+    }
+
+    /// Bounds are exact projections onto one variable.
+    #[test]
+    fn bounds_contain_all_points(c in arb_conj(4), p in arb_point()) {
+        if c.eval(&p) == Some(true) {
+            for v in [X, Y, Z] {
+                prop_assert!(c.bounds(v).contains(p.get(v).unwrap()),
+                    "bounds({}) of {} missed witness", v, c);
+            }
+        }
+    }
+
+    /// DNF negation complements pointwise.
+    #[test]
+    fn dnf_negation_complements(cs in prop::collection::vec(arb_conj(2), 0..3), p in arb_point()) {
+        let d = Dnf::from_conjunctions(cs);
+        let n = d.negate();
+        let dv = d.eval(&p).unwrap_or(false);
+        let nv = n.eval(&p).unwrap_or(false);
+        prop_assert_eq!(dv, !nv, "d = {}, ¬d = {}", d, n);
+    }
+
+    /// DNF difference is pointwise set difference.
+    #[test]
+    fn dnf_difference_pointwise(
+        a in prop::collection::vec(arb_conj(2), 0..3),
+        b in prop::collection::vec(arb_conj(2), 0..3),
+        p in arb_point()
+    ) {
+        let da = Dnf::from_conjunctions(a);
+        let db = Dnf::from_conjunctions(b);
+        let diff = da.minus(&db);
+        let want = da.eval(&p).unwrap_or(false) && !db.eval(&p).unwrap_or(false);
+        prop_assert_eq!(diff.eval(&p).unwrap_or(false), want);
+    }
+
+    /// DNF normalize preserves semantics.
+    #[test]
+    fn dnf_normalize_preserves(cs in prop::collection::vec(arb_conj(3), 0..4), p in arb_point()) {
+        let d = Dnf::from_conjunctions(cs);
+        let n = d.normalize();
+        prop_assert_eq!(d.eval(&p).unwrap_or(false), n.eval(&p).unwrap_or(false));
+    }
+}
+
+/// Interval algebra properties: intersection is pointwise conjunction, and
+/// membership respects strictness at the endpoints.
+mod interval_props {
+    use cqa_constraints::{Bound, Interval};
+    use cqa_num::Rat;
+    use proptest::prelude::*;
+
+    fn arb_bound() -> impl Strategy<Value = Option<Bound>> {
+        prop::option::of((-20i64..20, any::<bool>()).prop_map(|(v, strict)| Bound {
+            value: Rat::from_int(v),
+            strict,
+        }))
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (arb_bound(), arb_bound()).prop_map(|(lo, hi)| Interval::new(lo, hi))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn intersection_is_pointwise_and(a in arb_interval(), b in arb_interval(), p in -21i64..21, half in any::<bool>()) {
+            let v = if half { Rat::from_pair(2 * p + 1, 2) } else { Rat::from_int(p) };
+            let i = a.intersect(&b);
+            prop_assert_eq!(i.contains(&v), a.contains(&v) && b.contains(&v));
+        }
+
+        #[test]
+        fn empty_contains_nothing(a in arb_interval(), p in -21i64..21) {
+            if a.is_empty() {
+                prop_assert!(!a.contains(&Rat::from_int(p)));
+                prop_assert!(a.width().is_none());
+            }
+        }
+
+        #[test]
+        fn overlap_symmetric(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn f64_bounds_enclose(a in arb_interval(), p in -21i64..21) {
+            let v = Rat::from_int(p);
+            if a.contains(&v) {
+                let (lo, hi) = a.to_f64_bounds();
+                prop_assert!(lo <= p as f64 && p as f64 <= hi);
+            }
+        }
+    }
+}

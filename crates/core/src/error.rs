@@ -1,0 +1,62 @@
+//! Error type of the query layer.
+
+use std::fmt;
+
+/// Errors raised by schema validation, operator application, and plan
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Duplicate attribute name in a schema.
+    DuplicateAttribute(String),
+    /// A constraint attribute with a non-rational type.
+    NonRationalConstraintAttribute(String),
+    /// Attribute not present in a schema.
+    UnknownAttribute(String),
+    /// Relation not present in the catalog.
+    UnknownRelation(String),
+    /// Two schemas were required to be identical (union, difference).
+    SchemaMismatch(String),
+    /// A shared join attribute whose C/R flags disagree.
+    KindMismatch(String),
+    /// A value of the wrong type for an attribute.
+    TypeMismatch { attribute: String, expected: &'static str },
+    /// A rename target that already exists, or renaming a missing source.
+    BadRename(String),
+    /// The query violates the closure requirement of §2.4 (e.g. exposes
+    /// `distance` as a constraint): its output is not representable in the
+    /// system's constraint class.
+    UnsafeOperation(String),
+    /// A predicate that references an attribute unusable in that position
+    /// (e.g. a linear constraint over a string attribute).
+    BadPredicate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateAttribute(a) => write!(f, "duplicate attribute {:?}", a),
+            CoreError::NonRationalConstraintAttribute(a) => {
+                write!(f, "constraint attribute {:?} must be rational", a)
+            }
+            CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {:?}", a),
+            CoreError::UnknownRelation(r) => write!(f, "unknown relation {:?}", r),
+            CoreError::SchemaMismatch(what) => write!(f, "schema mismatch: {}", what),
+            CoreError::KindMismatch(a) => {
+                write!(f, "attribute {:?} is constraint on one side and relational on the other", a)
+            }
+            CoreError::TypeMismatch { attribute, expected } => {
+                write!(f, "attribute {:?} expects a {} value", attribute, expected)
+            }
+            CoreError::BadRename(what) => write!(f, "bad rename: {}", what),
+            CoreError::UnsafeOperation(what) => {
+                write!(f, "unsafe operation (no closed-form output): {}", what)
+            }
+            CoreError::BadPredicate(what) => write!(f, "bad predicate: {}", what),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for the query layer.
+pub type Result<T> = std::result::Result<T, CoreError>;

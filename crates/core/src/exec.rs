@@ -1,0 +1,526 @@
+//! Bottom-up plan evaluation.
+//!
+//! Plans are checked for safety, then evaluated by materializing each node
+//! — the "efficient bottom-up evaluation strategy" of §2.2 in its simplest
+//! correct form. Whole-feature operators evaluate against the catalog's
+//! spatial relations and produce ordinary (finite, relational) relations
+//! keyed by feature IDs, as §4 prescribes.
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::ops;
+use crate::plan::Plan;
+use crate::relation::HRelation;
+use crate::safety;
+use crate::schema::{AttrDef, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Evaluates a plan against a catalog (after a safety check).
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
+    safety::check(plan)?;
+    eval(plan, catalog)
+}
+
+/// Per-node evaluation statistics, mirroring the plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceNode {
+    /// Short operator label (e.g. `Scan R`, `Select`, `Join`).
+    pub label: String,
+    /// Number of (syntactic) tuples this node produced.
+    pub rows: usize,
+    /// Wall-clock time spent in this node, *excluding* its children.
+    pub elapsed: std::time::Duration,
+    /// Child traces in plan order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    fn render(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{}{}  [{} row(s), {:.2?}]",
+            "  ".repeat(depth),
+            self.label,
+            self.rows,
+            self.elapsed
+        );
+        for c in &self.children {
+            c.render(out, depth + 1);
+        }
+    }
+}
+
+impl std::fmt::Display for TraceNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Evaluates a plan, also producing a per-node trace (row counts and
+/// self-times) — the `EXPLAIN ANALYZE` of the CQA layer.
+///
+/// The traced path always evaluates operators directly (no index-assisted
+/// selection), so the trace reflects the plain algebra; results are
+/// identical to [`execute`] either way.
+pub fn execute_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
+    safety::check(plan)?;
+    eval_traced(plan, catalog)
+}
+
+fn eval_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
+    let mut children: Vec<TraceNode> = Vec::new();
+    let mut child = |p: &Plan| -> Result<HRelation> {
+        let (rel, trace) = eval_traced(p, catalog)?;
+        children.push(trace);
+        Ok(rel)
+    };
+    let start = std::time::Instant::now();
+    let (label, rel): (String, HRelation) = match plan {
+        Plan::Scan(name) => (format!("Scan {}", name), catalog.get(name)?.clone()),
+        Plan::SpatialScan(name) => (
+            format!("SpatialScan {}", name),
+            crate::spatial_bridge::spatial_to_hrelation(catalog.get_spatial(name)?)?,
+        ),
+        Plan::Select { input, selection } => {
+            let rel = child(input)?;
+            let t = std::time::Instant::now();
+            let out = ops::select(&rel, selection)?;
+            return finish("Select".to_string(), out, t, children);
+        }
+        Plan::Project { input, attrs } => {
+            let rel = child(input)?;
+            let t = std::time::Instant::now();
+            let out = ops::project(&rel, attrs)?;
+            return finish(format!("Project on {}", attrs.join(", ")), out, t, children);
+        }
+        Plan::Join { left, right } => {
+            let (l, r) = (child(left)?, child(right)?);
+            let t = std::time::Instant::now();
+            let out = ops::join(&l, &r)?;
+            return finish("Join".to_string(), out, t, children);
+        }
+        Plan::Union { left, right } => {
+            let (l, r) = (child(left)?, child(right)?);
+            let t = std::time::Instant::now();
+            let out = ops::union(&l, &r)?;
+            return finish("Union".to_string(), out, t, children);
+        }
+        Plan::Difference { left, right } => {
+            let (l, r) = (child(left)?, child(right)?);
+            let t = std::time::Instant::now();
+            let out = ops::difference(&l, &r)?;
+            return finish("Difference".to_string(), out, t, children);
+        }
+        Plan::Rename { input, from, to } => {
+            let rel = child(input)?;
+            let t = std::time::Instant::now();
+            let out = ops::rename(&rel, from, to)?;
+            return finish(format!("Rename {} -> {}", from, to), out, t, children);
+        }
+        other @ (Plan::BufferJoin { .. } | Plan::KNearest { .. }) => {
+            let out = eval(other, catalog)?;
+            let label = match other {
+                Plan::BufferJoin { left, right, .. } => format!("BufferJoin {} and {}", left, right),
+                Plan::KNearest { left, right, k } => {
+                    format!("KNearest {} and {} k {}", left, right, k)
+                }
+                _ => unreachable!(),
+            };
+            (label, out)
+        }
+        Plan::Distance { .. } => unreachable!("rejected by the safety check"),
+    };
+    let rows = rel.len();
+    Ok((rel, TraceNode { label, rows, elapsed: start.elapsed(), children }))
+}
+
+fn finish(
+    label: String,
+    out: HRelation,
+    since: std::time::Instant,
+    children: Vec<TraceNode>,
+) -> Result<(HRelation, TraceNode)> {
+    let rows = out.len();
+    Ok((out, TraceNode { label, rows, elapsed: since.elapsed(), children }))
+}
+
+fn eval(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
+    match plan {
+        Plan::Scan(name) => Ok(catalog.get(name)?.clone()),
+        Plan::SpatialScan(name) => {
+            crate::spatial_bridge::spatial_to_hrelation(catalog.get_spatial(name)?)
+        }
+        Plan::Select { input, selection } => {
+            if let Plan::Scan(name) = input.as_ref() {
+                if let Some(result) = try_index_select(catalog, name, selection)? {
+                    return Ok(result);
+                }
+            }
+            ops::select(&eval(input, catalog)?, selection)
+        }
+        Plan::Project { input, attrs } => ops::project(&eval(input, catalog)?, attrs),
+        Plan::Join { left, right } => {
+            ops::join(&eval(left, catalog)?, &eval(right, catalog)?)
+        }
+        Plan::Union { left, right } => {
+            ops::union(&eval(left, catalog)?, &eval(right, catalog)?)
+        }
+        Plan::Difference { left, right } => {
+            ops::difference(&eval(left, catalog)?, &eval(right, catalog)?)
+        }
+        Plan::Rename { input, from, to } => ops::rename(&eval(input, catalog)?, from, to),
+        Plan::BufferJoin { left, right, distance } => {
+            let l = catalog.get_spatial(left)?;
+            let r = catalog.get_spatial(right)?;
+            let (pairs, _accesses) = cqa_spatial::ops::buffer_join(l, r, distance);
+            Ok(id_pairs_relation(pairs))
+        }
+        Plan::KNearest { left, right, k } => {
+            let l = catalog.get_spatial(left)?;
+            let r = catalog.get_spatial(right)?;
+            Ok(id_pairs_relation(cqa_spatial::ops::k_nearest(l, r, *k)))
+        }
+        Plan::Distance { .. } => unreachable!("rejected by the safety check"),
+    }
+}
+
+/// Index-assisted selection over a base relation (the "through the use of
+/// indexing" half of §1.1's optimization story): when the scanned relation
+/// has an index whose attributes the selection bounds, probe it for
+/// candidate tuples and run the exact selection only on those. Returns
+/// `None` when no index applies; the result, when `Some`, is identical to
+/// the unindexed path (the filter is conservative, the refinement exact).
+fn try_index_select(
+    catalog: &Catalog,
+    name: &str,
+    selection: &crate::plan::Selection,
+) -> Result<Option<HRelation>> {
+    use crate::plan::{CmpOp, Predicate};
+    let rel = catalog.get(name)?;
+    let indexes = catalog.indexes(name);
+    if indexes.is_empty() || rel.is_empty() {
+        return Ok(None);
+    }
+    // Surface validation errors exactly as the unindexed path would.
+    ops::select::validate(rel.schema(), selection)?;
+
+    // Per-attribute f64 bounds from single-attribute linear predicates.
+    // Bounds are *widened* slightly: float rounding must never exclude a
+    // true match (the refinement re-checks exactly).
+    let mut bounds: std::collections::BTreeMap<&str, (f64, f64)> = Default::default();
+    for pred in selection.predicates() {
+        let Predicate::Linear { terms, constant, op } = pred else { continue };
+        if terms.len() != 1 {
+            continue;
+        }
+        let (attr, coeff) = (&terms[0].0, &terms[0].1);
+        if coeff.is_zero() {
+            continue;
+        }
+        // c·a + k op 0  ⇔  a op' −k/c, comparison flipping with c's sign.
+        let bound = (-(constant) / coeff).to_f64();
+        let eps = 1e-9 * (1.0 + bound.abs());
+        let upper = matches!(
+            (op, coeff.is_positive()),
+            (CmpOp::Le | CmpOp::Lt, true) | (CmpOp::Ge | CmpOp::Gt, false)
+        );
+        let lower = matches!(
+            (op, coeff.is_positive()),
+            (CmpOp::Ge | CmpOp::Gt, true) | (CmpOp::Le | CmpOp::Lt, false)
+        );
+        if *op != CmpOp::Eq && !upper && !lower {
+            continue; // e.g. <>: contributes no range bound
+        }
+        let entry = bounds
+            .entry(attr.as_str())
+            .or_insert((f64::NEG_INFINITY, f64::INFINITY));
+        if *op == CmpOp::Eq {
+            entry.0 = entry.0.max(bound - eps);
+            entry.1 = entry.1.min(bound + eps);
+        } else if upper {
+            entry.1 = entry.1.min(bound + eps);
+        } else if lower {
+            entry.0 = entry.0.max(bound - eps);
+        }
+    }
+    if bounds.is_empty() {
+        return Ok(None);
+    }
+    // Contradictory bounds (x ≥ 10 ∧ x ≤ 5): no tuple can pass the
+    // selection's conjunction, and an inverted probe rectangle would be
+    // rejected by the index. Answer directly.
+    if bounds.values().any(|(lo, hi)| lo > hi) {
+        return Ok(Some(HRelation::new(rel.schema().clone())));
+    }
+
+    // Pick the index covering the most bounded attributes.
+    let best = indexes
+        .iter()
+        .max_by_key(|ix| ix.attrs().iter().filter(|a| bounds.contains_key(a.as_str())).count());
+    let Some(index) = best else { return Ok(None) };
+    let covered =
+        index.attrs().iter().filter(|a| bounds.contains_key(a.as_str())).count();
+    if covered == 0 {
+        return Ok(None);
+    }
+    let probe: Vec<Option<(f64, f64)>> = index
+        .attrs()
+        .iter()
+        .map(|a| bounds.get(a.as_str()).copied())
+        .collect();
+    let candidates = index.probe(&probe);
+
+    // Exact refinement on the candidates only, preserving scan order.
+    let mut filtered = HRelation::new(rel.schema().clone());
+    for i in candidates {
+        filtered.insert(rel.tuples()[i].clone());
+    }
+    Ok(Some(ops::select(&filtered, selection)?))
+}
+
+/// Schema of whole-feature operator outputs: two relational string
+/// attributes `id1`, `id2`.
+pub fn id_pair_schema() -> Schema {
+    Schema::new(vec![AttrDef::str_rel("id1"), AttrDef::str_rel("id2")])
+        .expect("static schema is valid")
+}
+
+fn id_pairs_relation(pairs: Vec<(String, String)>) -> HRelation {
+    let schema = id_pair_schema();
+    let mut rel = HRelation::new(schema);
+    for (a, b) in pairs {
+        let t = Tuple::builder(rel.schema())
+            .set("id1", Value::str(a))
+            .set("id2", Value::str(b))
+            .build()
+            .expect("id pair tuple is valid");
+        rel.insert(t);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CmpOp, Selection};
+    use crate::schema::AttrKind;
+    use cqa_num::Rat;
+    use cqa_spatial::{Feature, Geometry, Point, SpatialRelation};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let schema = Schema::new(vec![
+            AttrDef::str_rel("id"),
+            AttrDef { name: "x".into(), ty: crate::schema::AttrType::Rat, kind: AttrKind::Constraint },
+        ])
+        .unwrap();
+        let mut r = HRelation::new(schema);
+        r.insert_with(|b| b.set("id", "a").range("x", 0, 10)).unwrap();
+        r.insert_with(|b| b.set("id", "b").range("x", 20, 30)).unwrap();
+        cat.register("R", r);
+
+        let cities = SpatialRelation::from_features([
+            Feature::new("c0", Geometry::Point(Point::from_ints(0, 0))),
+            Feature::new("c1", Geometry::Point(Point::from_ints(10, 0))),
+        ]);
+        let probes = SpatialRelation::from_features([Feature::new(
+            "p",
+            Geometry::Point(Point::from_ints(1, 0)),
+        )]);
+        cat.register_spatial("Cities", cities);
+        cat.register_spatial("Probes", probes);
+        cat
+    }
+
+    #[test]
+    fn scan_select_project_pipeline() {
+        let cat = catalog();
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 5))
+            .project(&["id"]);
+        let out = execute(&plan, &cat).unwrap();
+        assert_eq!(out.len(), 2, "both intervals reach x ≥ 5");
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 15))
+            .project(&["id"]);
+        let out = execute(&plan, &cat).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].value(0), Some(&Value::str("b")));
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let cat = catalog();
+        assert!(execute(&Plan::scan("Nope"), &cat).is_err());
+        assert!(execute(
+            &Plan::BufferJoin { left: "Nope".into(), right: "Cities".into(), distance: Rat::one() },
+            &cat
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn buffer_join_produces_id_pairs() {
+        let cat = catalog();
+        let plan = Plan::BufferJoin {
+            left: "Probes".into(),
+            right: "Cities".into(),
+            distance: Rat::from_int(2),
+        };
+        let out = execute(&plan, &cat).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out
+            .contains_point(&[Value::str("p"), Value::str("c0")])
+            .unwrap());
+        assert!(out.schema().is_purely_relational(), "whole-feature output is traditional");
+    }
+
+    #[test]
+    fn knearest_composes_with_algebra() {
+        let cat = catalog();
+        let plan = Plan::KNearest { left: "Probes".into(), right: "Cities".into(), k: 2 }
+            .select(Selection::all().str_eq("id2", "c1"));
+        let out = execute(&plan, &cat).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn traced_execution_matches_and_counts() {
+        let cat = catalog();
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 5))
+            .project(&["id"]);
+        let plain = execute(&plan, &cat).unwrap();
+        let (traced, trace) = execute_traced(&plan, &cat).unwrap();
+        assert_eq!(plain, traced);
+        // Trace shape mirrors the plan: Project -> Select -> Scan.
+        assert!(trace.label.starts_with("Project"));
+        assert_eq!(trace.rows, traced.len());
+        assert_eq!(trace.children.len(), 1);
+        assert!(trace.children[0].label.starts_with("Select"));
+        let scan = &trace.children[0].children[0];
+        assert_eq!(scan.label, "Scan R");
+        assert_eq!(scan.rows, 2);
+        let shown = trace.to_string();
+        assert!(shown.contains("row(s)"), "{}", shown);
+        // Safety still enforced.
+        let bad = Plan::Distance { left: "Probes".into(), right: "Cities".into() };
+        assert!(execute_traced(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn index_backed_select_matches_plain_select() {
+        // A bigger relation with mixed intervals and a null.
+        let schema = Schema::new(vec![
+            AttrDef::str_rel("id"),
+            AttrDef {
+                name: "x".into(),
+                ty: crate::schema::AttrType::Rat,
+                kind: AttrKind::Constraint,
+            },
+            AttrDef {
+                name: "y".into(),
+                ty: crate::schema::AttrType::Rat,
+                kind: AttrKind::Constraint,
+            },
+        ])
+        .unwrap();
+        let mut rel = HRelation::new(schema);
+        for i in 0..200i64 {
+            let lo = (i * 7) % 500;
+            rel.insert_with(|b| {
+                b.set("id", format!("t{}", i).as_str())
+                    .range("x", lo, lo + 10)
+                    .range("y", (i * 3) % 300, (i * 3) % 300 + 5)
+            })
+            .unwrap();
+        }
+        // A broad tuple (no constraints at all) must still be found.
+        rel.insert_with(|b| b.set("id", "broad")).unwrap();
+
+        let mut plain = Catalog::new();
+        plain.register("R", rel.clone());
+        let mut indexed = Catalog::new();
+        indexed.register("R", rel);
+        indexed.build_index("R", &["x", "y"]).unwrap();
+        indexed.build_index("R", &["x"]).unwrap();
+
+        let selections = [
+            Selection::all().cmp_int("x", CmpOp::Ge, 100).cmp_int("x", CmpOp::Le, 150),
+            Selection::all()
+                .cmp_int("x", CmpOp::Ge, 100)
+                .cmp_int("x", CmpOp::Lt, 150)
+                .cmp_int("y", CmpOp::Le, 50),
+            Selection::all().cmp_int("y", CmpOp::Eq, 33),
+            Selection::all().cmp_int("x", CmpOp::Gt, 10_000), // empty result
+            Selection::all().str_eq("id", "t5").cmp_int("x", CmpOp::Ge, 0),
+        ];
+        for sel in selections {
+            let plan = Plan::scan("R").select(sel.clone());
+            let a = execute(&plan, &plain).unwrap();
+            let b = execute(&plan, &indexed).unwrap();
+            assert_eq!(a, b, "selection {:?}", sel);
+        }
+        // The index actually got used.
+        assert!(
+            indexed.indexes("R").iter().any(|ix| ix.accesses() > 0),
+            "index probes should have been charged"
+        );
+    }
+
+    #[test]
+    fn index_handles_contradictory_bounds() {
+        // x ≥ 10 ∧ x ≤ 5 would form an inverted probe rectangle; the
+        // index path must answer "empty" directly instead.
+        let mut cat = catalog();
+        cat.build_index("R", &["x"]).unwrap();
+        let plan = Plan::scan("R").select(
+            Selection::all().cmp_int("x", CmpOp::Ge, 10).cmp_int("x", CmpOp::Le, 5),
+        );
+        let out = execute(&plan, &cat).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn index_ignored_when_it_cannot_help() {
+        let cat = {
+            let mut c = catalog();
+            c.build_index("R", &["x"]).unwrap();
+            c
+        };
+        // A selection that bounds nothing the index covers.
+        let plan = Plan::scan("R").select(Selection::all().str_eq("id", "a"));
+        let out = execute(&plan, &cat).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(cat.indexes("R")[0].accesses(), 0, "no probe charged");
+    }
+
+    #[test]
+    fn index_build_rejects_bad_attrs() {
+        let mut cat = catalog();
+        assert!(cat.build_index("R", &["id"]).is_err(), "string attribute");
+        assert!(cat.build_index("R", &[]).is_err());
+        assert!(cat.build_index("R", &["x", "x", "x"]).is_err());
+        assert!(cat.build_index("Nope", &["x"]).is_err());
+        // Re-registering drops stale indexes.
+        cat.build_index("R", &["x"]).unwrap();
+        assert_eq!(cat.indexes("R").len(), 1);
+        let rel = cat.get("R").unwrap().clone();
+        cat.register("R", rel);
+        assert!(cat.indexes("R").is_empty());
+    }
+
+    #[test]
+    fn unsafe_distance_rejected_before_evaluation() {
+        let cat = catalog();
+        let plan = Plan::Distance { left: "Probes".into(), right: "Cities".into() };
+        assert!(matches!(
+            execute(&plan, &cat),
+            Err(crate::error::CoreError::UnsafeOperation(_))
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! The difference operator `R₁ − R₂` (§2.4).
+//!
+//! The only operator that needs **negation** of constraint formulas: a
+//! tuple `t₁` survives as `φ(t₁) ∧ ¬(φ(t₂¹) ∨ …)` over the `t₂` whose
+//! relational parts match. The negation is expanded back to DNF, so one
+//! input tuple can produce several output tuples — this is the expensive
+//! operator of the algebra, and the reason the closure of the linear class
+//! under complement (within a conjunctive block) matters.
+//!
+//! Relational parts match when their value vectors are identical, with
+//! `null = null` (two narrow-missing values are the same row shape, as in
+//! SQL's `EXCEPT`).
+
+use crate::error::Result;
+use crate::relation::HRelation;
+use crate::tuple::Tuple;
+use cqa_constraints::Dnf;
+
+/// Applies the difference `left − right`.
+pub fn difference(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    left.schema().require_same(right.schema())?;
+    let mut out = HRelation::new(left.schema().clone());
+    for lt in left.tuples() {
+        // All right tuples whose relational part is identical.
+        let matching: Vec<_> = right
+            .tuples()
+            .iter()
+            .filter(|rt| rt.values() == lt.values())
+            .collect();
+        if matching.is_empty() {
+            out.insert(lt.clone());
+            continue;
+        }
+        let minuend = Dnf::from_conjunction(lt.constraint().clone());
+        let subtrahend =
+            Dnf::from_conjunctions(matching.iter().map(|rt| rt.constraint().clone()));
+        let remainder = minuend.minus(&subtrahend).normalize();
+        for conj in remainder.conjunctions() {
+            out.insert(Tuple::from_parts(lt.values().to_vec(), conj.clone()));
+        }
+    }
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, Schema};
+    use crate::value::Value;
+
+    fn n(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    fn interval_rel(rows: &[(&str, i64, i64)]) -> HRelation {
+        let s = Schema::new(vec![AttrDef::str_rel("id"), AttrDef::rat_con("x")]).unwrap();
+        let mut r = HRelation::new(s);
+        for &(id, lo, hi) in rows {
+            r.insert_with(|b| b.set("id", id).range("x", lo, hi)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = interval_rel(&[("p", 0, 10)]);
+        let b = interval_rel(&[("p", 3, 5)]);
+        let out = difference(&a, &b).unwrap();
+        assert!(out.contains_point(&[Value::str("p"), n(1)]).unwrap());
+        assert!(!out.contains_point(&[Value::str("p"), n(4)]).unwrap());
+        assert!(out.contains_point(&[Value::str("p"), n(9)]).unwrap());
+        // Boundary points are removed too (closed subtrahend).
+        assert!(!out.contains_point(&[Value::str("p"), n(3)]).unwrap());
+        assert_eq!(out.len(), 2, "split into two interval tuples");
+    }
+
+    #[test]
+    fn difference_respects_relational_key() {
+        // Subtracting q's interval must not affect p's.
+        let a = interval_rel(&[("p", 0, 10), ("q", 0, 10)]);
+        let b = interval_rel(&[("q", 0, 10)]);
+        let out = difference(&a, &b).unwrap();
+        assert!(out.contains_point(&[Value::str("p"), n(5)]).unwrap());
+        assert!(!out.contains_point(&[Value::str("q"), n(5)]).unwrap());
+    }
+
+    #[test]
+    fn subtracting_everything_empties() {
+        let a = interval_rel(&[("p", 0, 10)]);
+        let out = difference(&a, &a).unwrap();
+        assert!(out.is_empty() || out.tuples().iter().all(|t| !t.is_satisfiable()));
+        // And its semantics is empty regardless of syntax:
+        assert!(!out.contains_point(&[Value::str("p"), n(5)]).unwrap());
+    }
+
+    #[test]
+    fn multiple_subtrahends_union() {
+        let a = interval_rel(&[("p", 0, 10)]);
+        let b = interval_rel(&[("p", 0, 4), ("p", 6, 10)]);
+        let out = difference(&a, &b).unwrap();
+        assert!(out.contains_point(&[Value::str("p"), n(5)]).unwrap());
+        assert!(!out.contains_point(&[Value::str("p"), n(2)]).unwrap());
+        assert!(!out.contains_point(&[Value::str("p"), n(8)]).unwrap());
+    }
+
+    #[test]
+    fn purely_relational_difference() {
+        let mk = |rows: &[i64]| {
+            let s = Schema::new(vec![AttrDef::rat_rel("v")]).unwrap();
+            let mut r = HRelation::new(s);
+            for &x in rows {
+                r.insert_with(|b| b.set("v", x)).unwrap();
+            }
+            r
+        };
+        let out = difference(&mk(&[1, 2, 3]), &mk(&[2])).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains_point(&[n(1)]).unwrap());
+        assert!(!out.contains_point(&[n(2)]).unwrap());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = interval_rel(&[]);
+        let s2 = Schema::new(vec![AttrDef::str_rel("id"), AttrDef::rat_rel("x")]).unwrap();
+        let b = HRelation::new(s2);
+        assert!(difference(&a, &b).is_err());
+    }
+}

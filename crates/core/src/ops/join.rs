@@ -1,0 +1,197 @@
+//! The natural-join operator `R₁ ⋈ R₂` (§2.4).
+//!
+//! Per the paper's remark, cross-product and intersection are special cases
+//! (no shared attributes / all attributes shared). Shared **relational**
+//! attributes join by value equality (nulls never match — narrow
+//! semantics); shared **constraint** attributes join by *conjoining* the
+//! two tuples' constraints and keeping satisfiable combinations. Query 3 of
+//! the Hurricane case study joins on three shared constraint attributes
+//! (`t`, `x`, `y`) this way.
+
+use crate::error::Result;
+use crate::relation::{remap_vars, HRelation};
+use crate::schema::AttrKind;
+use crate::tuple::Tuple;
+use cqa_constraints::Var;
+
+/// Applies the natural join.
+pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    let ls = left.schema();
+    let rs = right.schema();
+    let out_schema = ls.join(rs)?;
+
+    // For each right attribute: its position in the output schema.
+    let right_to_out: Vec<usize> = rs
+        .attrs()
+        .iter()
+        .map(|a| out_schema.position(&a.name).expect("join schema covers right"))
+        .collect();
+    // Right constraint vars remapped to output positions.
+    let mapping: Vec<(Var, Var)> = rs
+        .constraint_positions()
+        .map(|i| (rs.var(i), Var(right_to_out[i] as u32)))
+        .collect();
+    // Shared relational attributes: (left position, right position).
+    let shared_rel: Vec<(usize, usize)> = ls
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind == AttrKind::Relational && rs.contains(&a.name))
+        .map(|(i, a)| (i, rs.position(&a.name).expect("contains")))
+        .collect();
+
+    let mut out = HRelation::new(out_schema.clone());
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            // Narrow semantics: shared relational values must both be
+            // present and equal.
+            let rel_match = shared_rel.iter().all(|&(li, ri)| {
+                matches!((lt.value(li), rt.value(ri)), (Some(a), Some(b)) if a == b)
+            });
+            if !rel_match {
+                continue;
+            }
+            // Values: left slots as-is, right non-shared appended.
+            let mut values = lt.values().to_vec();
+            values.resize(out_schema.arity(), None);
+            for (ri, &oi) in right_to_out.iter().enumerate() {
+                if oi >= ls.arity() {
+                    values[oi] = rt.values()[ri].clone();
+                }
+            }
+            // Constraints: left part keeps its positions (output schema
+            // starts with the left schema); right part is remapped, then
+            // conjoined. Shared constraint attributes thereby intersect.
+            let conj = lt.constraint().and(&remap_vars(rt.constraint(), &mapping));
+            if conj.is_satisfiable() {
+                out.insert(Tuple::from_parts(values, conj));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, Schema};
+    use crate::value::Value;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+    fn n(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    #[test]
+    fn join_on_relational_key() {
+        let land = {
+            let s = Schema::new(vec![AttrDef::str_rel("landId"), AttrDef::rat_con("x")])
+                .unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| b.set("landId", "A").range("x", 0, 2)).unwrap();
+            r.insert_with(|b| b.set("landId", "B").range("x", 3, 5)).unwrap();
+            r
+        };
+        let owner = {
+            let s = Schema::new(vec![AttrDef::str_rel("name"), AttrDef::str_rel("landId")])
+                .unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| b.set("name", "dina").set("landId", "A")).unwrap();
+            r.insert_with(|b| b.set("name", "mira").set("landId", "C")).unwrap();
+            r.insert_with(|b| b.set("name", "noid")).unwrap(); // null landId
+            r
+        };
+        let out = join(&owner, &land).unwrap();
+        assert_eq!(out.len(), 1, "only dina↦A matches; null never joins");
+        let names: Vec<&str> =
+            out.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["name", "landId", "x"]);
+        assert!(out.contains_point(&[v("dina"), v("A"), n(1)]).unwrap());
+        assert!(!out.contains_point(&[v("dina"), v("A"), n(4)]).unwrap());
+    }
+
+    #[test]
+    fn join_on_shared_constraint_attribute_intersects() {
+        // Two unary constraint relations over the same attribute x:
+        // intervals [0,10] and [5,20] join to [5,10].
+        let make = |lo: i64, hi: i64| {
+            let s = Schema::new(vec![AttrDef::rat_con("x")]).unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| b.range("x", lo, hi)).unwrap();
+            r
+        };
+        let out = join(&make(0, 10), &make(5, 20)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_point(&[n(7)]).unwrap());
+        assert!(!out.contains_point(&[n(3)]).unwrap());
+        assert!(!out.contains_point(&[n(15)]).unwrap());
+        // Disjoint intervals produce nothing.
+        let empty = join(&make(0, 1), &make(5, 6)).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_attributes() {
+        let a = {
+            let s = Schema::new(vec![AttrDef::rat_con("x")]).unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| b.range("x", 0, 1)).unwrap();
+            r.insert_with(|b| b.range("x", 2, 3)).unwrap();
+            r
+        };
+        let b = {
+            let s = Schema::new(vec![AttrDef::rat_con("y")]).unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|bu| bu.range("y", 5, 6)).unwrap();
+            r
+        };
+        let out = join(&a, &b).unwrap();
+        assert_eq!(out.len(), 2, "cross product");
+        assert!(out.contains_point(&[n(0), n(5)]).unwrap());
+        assert!(out.contains_point(&[n(3), n(6)]).unwrap());
+    }
+
+    #[test]
+    fn spatio_temporal_join_like_query3() {
+        // Land extent [0,2]×[0,2]; hurricane path: the segment x=y over
+        // t∈[0,4] moving diagonally: x = t, y = t, 0 ≤ t ≤ 4. The join
+        // pins the storm inside the parcel: t ∈ [0,2].
+        use cqa_constraints::{Atom, LinExpr};
+        let land = {
+            let s = Schema::new(vec![
+                AttrDef::str_rel("landId"),
+                AttrDef::rat_con("x"),
+                AttrDef::rat_con("y"),
+            ])
+            .unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| b.set("landId", "A").range("x", 0, 2).range("y", 0, 2))
+                .unwrap();
+            r
+        };
+        let hurricane = {
+            let s = Schema::new(vec![
+                AttrDef::rat_con("t"),
+                AttrDef::rat_con("x"),
+                AttrDef::rat_con("y"),
+            ])
+            .unwrap();
+            let mut r = HRelation::new(s);
+            r.insert_with(|b| {
+                b.range("t", 0, 4)
+                    .atom(Atom::eq(LinExpr::var(Var(1)), LinExpr::var(Var(0))))
+                    .atom(Atom::eq(LinExpr::var(Var(2)), LinExpr::var(Var(0))))
+            })
+            .unwrap();
+            r
+        };
+        let out = join(&land, &hurricane).unwrap();
+        assert_eq!(out.len(), 1);
+        // Schema: landId, x, y, t.
+        assert!(out.contains_point(&[v("A"), n(1), n(1), n(1)]).unwrap());
+        assert!(!out.contains_point(&[v("A"), n(3), n(3), n(3)]).unwrap(), "outside parcel");
+        assert!(!out.contains_point(&[v("A"), n(1), n(2), n(1)]).unwrap(), "off the path");
+    }
+}

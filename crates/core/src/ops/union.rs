@@ -1,0 +1,54 @@
+//! The union operator `R₁ ∪ R₂` (§2.4).
+//!
+//! Schemas must agree exactly (names, types, and C/R flags). The formula of
+//! the result is the disjunction of both relations' formulas — syntactically,
+//! just the concatenation of their constraint tuples.
+
+use crate::error::Result;
+use crate::relation::HRelation;
+
+/// Applies the union.
+pub fn union(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    left.schema().require_same(right.schema())?;
+    let mut out = left.clone();
+    for t in right.tuples() {
+        out.insert(t.clone());
+    }
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, Schema};
+    use crate::value::Value;
+
+    fn interval_rel(ranges: &[(i64, i64)]) -> HRelation {
+        let s = Schema::new(vec![AttrDef::rat_con("x")]).unwrap();
+        let mut r = HRelation::new(s);
+        for &(lo, hi) in ranges {
+            r.insert_with(|b| b.range("x", lo, hi)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn union_concatenates_and_dedups() {
+        let a = interval_rel(&[(0, 1), (5, 6)]);
+        let b = interval_rel(&[(5, 6), (9, 10)]);
+        let out = union(&a, &b).unwrap();
+        assert_eq!(out.len(), 3, "(5,6) deduplicated");
+        assert!(out.contains_point(&[Value::int(0)]).unwrap());
+        assert!(out.contains_point(&[Value::int(10)]).unwrap());
+        assert!(!out.contains_point(&[Value::int(3)]).unwrap());
+    }
+
+    #[test]
+    fn union_requires_identical_schema() {
+        let a = interval_rel(&[(0, 1)]);
+        let s2 = Schema::new(vec![AttrDef::rat_rel("x")]).unwrap();
+        let b = HRelation::new(s2);
+        assert!(union(&a, &b).is_err(), "kind flag differs");
+    }
+}

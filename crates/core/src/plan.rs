@@ -1,0 +1,211 @@
+//! Query plans: the algebra's abstract syntax.
+//!
+//! A [`Plan`] is the "recipe for evaluating a query" of §2.2 — the form
+//! into which the ASCII query scripts of §3.3 are translated, which the
+//! [`optimizer`](crate::optimizer) rewrites, and which
+//! [`exec`](crate::exec) evaluates bottom-up.
+
+pub use crate::ops::select::{CmpOp, Predicate, Selection};
+use cqa_num::Rat;
+use std::fmt;
+
+/// A query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A named relation from the catalog.
+    Scan(String),
+    /// A named *spatial* relation from the catalog, materialized in its
+    /// constraint representation (one tuple per convex piece or segment;
+    /// schema `[id: string relational; x, y: rational constraint]`). The
+    /// homogeneous-data goal of §1.1: spatial features as first-class
+    /// algebra inputs.
+    SpatialScan(String),
+    /// `ς_ξ(input)`.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The condition ξ.
+        selection: Selection,
+    },
+    /// `π_X(input)`.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The attribute list X, in output order.
+        attrs: Vec<String>,
+    },
+    /// `left ⋈ right` (natural join).
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// `left ∪ right`.
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// `left − right`.
+    Difference {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// `ρ_{to|from}(input)`.
+    Rename {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Attribute to rename.
+        from: String,
+        /// New attribute name.
+        to: String,
+    },
+    /// Whole-feature `Buffer-Join` over two named *spatial* relations
+    /// (§4): pairs of features within `distance`. Safe: the output is a
+    /// finite relation of feature-ID pairs.
+    BufferJoin {
+        /// Left spatial relation name.
+        left: String,
+        /// Right spatial relation name.
+        right: String,
+        /// The buffer distance.
+        distance: Rat,
+    },
+    /// Whole-feature `k-Nearest` over two named spatial relations (§4).
+    KNearest {
+        /// Left spatial relation name.
+        left: String,
+        /// Right spatial relation name.
+        right: String,
+        /// Number of neighbours per left feature.
+        k: usize,
+    },
+    /// The raw `distance` operator of §4's discussion: distance as a
+    /// *constraint output attribute*. **Unsafe** — kept in the algebra so
+    /// that the safety checker has something to reject; the evaluator never
+    /// sees it.
+    Distance {
+        /// Left spatial relation name.
+        left: String,
+        /// Right spatial relation name.
+        right: String,
+    },
+}
+
+impl Plan {
+    /// A scan leaf.
+    pub fn scan(name: impl Into<String>) -> Plan {
+        Plan::Scan(name.into())
+    }
+
+    /// A spatial scan leaf (constraint form of a vector relation).
+    pub fn spatial_scan(name: impl Into<String>) -> Plan {
+        Plan::SpatialScan(name.into())
+    }
+
+    /// Wraps in a selection.
+    pub fn select(self, selection: Selection) -> Plan {
+        Plan::Select { input: Box::new(self), selection }
+    }
+
+    /// Wraps in a projection.
+    pub fn project(self, attrs: &[&str]) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Joins with another plan.
+    pub fn join(self, other: Plan) -> Plan {
+        Plan::Join { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Unions with another plan.
+    pub fn union(self, other: Plan) -> Plan {
+        Plan::Union { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Subtracts another plan.
+    pub fn minus(self, other: Plan) -> Plan {
+        Plan::Difference { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Renames an attribute.
+    pub fn rename(self, from: &str, to: &str) -> Plan {
+        Plan::Rename { input: Box::new(self), from: from.to_string(), to: to.to_string() }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan(name) => writeln!(f, "{}Scan {}", pad, name),
+            Plan::SpatialScan(name) => writeln!(f, "{}SpatialScan {}", pad, name),
+            Plan::Select { input, selection } => {
+                writeln!(f, "{}Select [{} predicate(s)]", pad, selection.predicates().len())?;
+                input.fmt_indent(f, depth + 1)
+            }
+            Plan::Project { input, attrs } => {
+                writeln!(f, "{}Project on {}", pad, attrs.join(", "))?;
+                input.fmt_indent(f, depth + 1)
+            }
+            Plan::Join { left, right } => {
+                writeln!(f, "{}Join", pad)?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            Plan::Union { left, right } => {
+                writeln!(f, "{}Union", pad)?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            Plan::Difference { left, right } => {
+                writeln!(f, "{}Difference", pad)?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            Plan::Rename { input, from, to } => {
+                writeln!(f, "{}Rename {} -> {}", pad, from, to)?;
+                input.fmt_indent(f, depth + 1)
+            }
+            Plan::BufferJoin { left, right, distance } => {
+                writeln!(f, "{}BufferJoin {} and {} distance {}", pad, left, right, distance)
+            }
+            Plan::KNearest { left, right, k } => {
+                writeln!(f, "{}KNearest {} and {} k {}", pad, left, right, k)
+            }
+            Plan::Distance { left, right } => {
+                writeln!(f, "{}Distance {} and {} (unsafe)", pad, left, right)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let p = Plan::scan("Land")
+            .join(Plan::scan("Landownership"))
+            .select(Selection::all().cmp_int("t", CmpOp::Ge, 4))
+            .project(&["name"]);
+        let shown = p.to_string();
+        assert!(shown.contains("Project on name"));
+        assert!(shown.contains("Join"));
+        assert!(shown.contains("Scan Land"));
+        let indent_scan = shown.lines().find(|l| l.contains("Scan Land")).unwrap();
+        assert!(indent_scan.starts_with("      "), "tree indentation: {:?}", indent_scan);
+    }
+}

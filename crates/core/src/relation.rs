@@ -1,0 +1,216 @@
+//! Heterogeneous relations: a schema plus a finite set of tuples.
+//!
+//! Per Definition 2 the relation's formula is the disjunction of its
+//! tuples' formulas; its semantics is the (possibly infinite) set of points
+//! satisfying that formula, with the C/R flag of §3.2 deciding the
+//! missing-attribute reading per attribute.
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use cqa_constraints::{Conjunction, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A heterogeneous relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HRelation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl HRelation {
+    /// An empty relation.
+    pub fn new(schema: Schema) -> HRelation {
+        HRelation { schema, tuples: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of (syntactic) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple (callers build it against this relation's schema).
+    pub fn insert(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Appends a tuple built by the given closure.
+    pub fn insert_with(
+        &mut self,
+        f: impl FnOnce(crate::tuple::TupleBuilder<'_>) -> crate::tuple::TupleBuilder<'_>,
+    ) -> Result<()> {
+        let t = f(Tuple::builder(&self.schema)).build()?;
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Point membership: some tuple contains the point.
+    pub fn contains_point(&self, point: &[Value]) -> Result<bool> {
+        for t in &self.tuples {
+            if t.contains_point(&self.schema, point)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Removes structurally duplicate tuples (canonical atom storage makes
+    /// structural equality a sound approximation of semantic equality).
+    pub fn dedup(&mut self) {
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Drops tuples whose constraint part is unsatisfiable.
+    pub fn drop_unsatisfiable(&mut self) {
+        self.tuples.retain(|t| t.is_satisfiable());
+    }
+
+    /// A printer naming constraint variables after their attributes.
+    pub fn var_namer(&self) -> impl Fn(Var) -> String + '_ {
+        move |v: Var| {
+            self.schema
+                .attrs()
+                .get(v.0 as usize)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| v.to_string())
+        }
+    }
+
+    /// Consumes the relation into its parts.
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
+        (self.schema, self.tuples)
+    }
+
+    /// Builds from parts (operators use this).
+    pub(crate) fn from_parts(schema: Schema, tuples: Vec<Tuple>) -> HRelation {
+        HRelation { schema, tuples }
+    }
+
+    /// Semantic equivalence check for *purely constraint* relations over
+    /// the same schema: mutual containment of the denoted point sets.
+    /// (Used in tests; exponential in the worst case.)
+    pub fn equivalent_constraint_part(&self, other: &HRelation) -> bool {
+        let to_dnf = |r: &HRelation| {
+            cqa_constraints::Dnf::from_conjunctions(
+                r.tuples.iter().map(|t| t.constraint().clone()),
+            )
+        };
+        self.schema == other.schema && to_dnf(self).equivalent(&to_dnf(other))
+    }
+}
+
+impl fmt::Display for HRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {}", t.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+/// Remaps a conjunction's variables simultaneously: `mapping[i] = j` sends
+/// `Var(i)` to `Var(j)`. Entries may permute freely; a two-phase rename
+/// through a disjoint temporary range makes the substitution simultaneous.
+pub(crate) fn remap_vars(conj: &Conjunction, mapping: &[(Var, Var)]) -> Conjunction {
+    let max_var = conj
+        .vars()
+        .iter()
+        .map(|v| v.0)
+        .chain(mapping.iter().flat_map(|(a, b)| [a.0, b.0]))
+        .max()
+        .unwrap_or(0);
+    let offset = max_var + 1;
+    let mut out = conj.clone();
+    for (from, _) in mapping {
+        if out.mentions(*from) {
+            out = out.rename(*from, Var(from.0 + offset));
+        }
+    }
+    for (from, to) in mapping {
+        if out.mentions(Var(from.0 + offset)) {
+            out = out.rename(Var(from.0 + offset), *to);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrDef;
+    use cqa_constraints::{Atom, LinExpr};
+    use cqa_num::Rat;
+
+    #[test]
+    fn insert_and_membership() {
+        let schema = Schema::new(vec![AttrDef::str_rel("id"), AttrDef::rat_con("x")]).unwrap();
+        let mut r = HRelation::new(schema);
+        r.insert_with(|b| b.set("id", "a").range("x", 0, 10)).unwrap();
+        r.insert_with(|b| b.set("id", "b").range("x", 20, 30)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_point(&[Value::str("a"), Value::int(5)]).unwrap());
+        assert!(r.contains_point(&[Value::str("b"), Value::int(25)]).unwrap());
+        assert!(!r.contains_point(&[Value::str("a"), Value::int(25)]).unwrap());
+    }
+
+    #[test]
+    fn dedup_and_drop_unsat() {
+        let schema = Schema::new(vec![AttrDef::rat_con("x")]).unwrap();
+        let mut r = HRelation::new(schema);
+        r.insert_with(|b| b.range("x", 0, 1)).unwrap();
+        r.insert_with(|b| b.range("x", 0, 1)).unwrap();
+        r.insert_with(|b| b.range("x", 5, 2)).unwrap(); // unsatisfiable
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        r.drop_unsatisfiable();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remap_swaps_variables() {
+        // x0 ≤ x1 with swap 0↔1 becomes x1 ≤ x0.
+        let conj = Conjunction::from_atoms([Atom::le(
+            LinExpr::var(Var(0)),
+            LinExpr::var(Var(1)),
+        )]);
+        let swapped = remap_vars(&conj, &[(Var(0), Var(1)), (Var(1), Var(0))]);
+        let back = remap_vars(&swapped, &[(Var(0), Var(1)), (Var(1), Var(0))]);
+        assert_eq!(conj, back);
+        assert_ne!(conj, swapped);
+        // Semantics: swapped holds at (x0=2, x1=1).
+        let asg = cqa_constraints::Assignment::from_pairs([
+            (Var(0), Rat::from_int(2)),
+            (Var(1), Rat::from_int(1)),
+        ]);
+        assert_eq!(swapped.eval(&asg), Some(true));
+        assert_eq!(conj.eval(&asg), Some(false));
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let schema = Schema::new(vec![AttrDef::str_rel("id"), AttrDef::rat_con("x")]).unwrap();
+        let mut r = HRelation::new(schema);
+        r.insert_with(|b| b.set("id", "a").range("x", 0, 1)).unwrap();
+        let shown = r.to_string();
+        assert!(shown.contains("id = \"a\""), "{}", shown);
+    }
+}

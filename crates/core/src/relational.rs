@@ -1,0 +1,266 @@
+//! A reference relational-algebra engine over finite tables.
+//!
+//! §3.2 claims: "Unlike the constraint data model, the heterogeneous data
+//! model is completely upwardly compatible with the relational data model."
+//! This module is the oracle that claim is tested against: a deliberately
+//! naive implementation of the six operators on ordinary finite tables with
+//! SQL-style nulls. The `upward_compat` integration tests run the same
+//! queries through the CQA engine (on purely relational schemas) and
+//! through this one, and compare results row for row.
+
+use crate::error::{CoreError, Result};
+use crate::ops::select::{CmpOp, Predicate, Selection};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A row of optional values (None = null).
+pub type Row = Vec<Option<Value>>;
+
+/// A finite relational table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelTable {
+    attrs: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl RelTable {
+    /// An empty table with the given attribute names.
+    pub fn new(attrs: Vec<String>) -> RelTable {
+        RelTable { attrs, rows: Vec::new() }
+    }
+
+    /// The attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row (arity-checked).
+    pub fn insert(&mut self, row: Row) {
+        assert_eq!(row.len(), self.attrs.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    fn position(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Set-semantics normalization: sorted, deduplicated rows.
+    pub fn normalized(&self) -> RelTable {
+        let set: BTreeSet<Row> = self.rows.iter().cloned().collect();
+        RelTable { attrs: self.attrs.clone(), rows: set.into_iter().collect() }
+    }
+
+    /// `ς_ξ`: rows satisfying every predicate; nulls never satisfy one.
+    pub fn select(&self, selection: &Selection) -> Result<RelTable> {
+        let mut out = RelTable::new(self.attrs.clone());
+        'rows: for row in &self.rows {
+            for p in selection.predicates() {
+                if !self.row_satisfies(row, p)? {
+                    continue 'rows;
+                }
+            }
+            out.rows.push(row.clone());
+        }
+        Ok(out)
+    }
+
+    fn row_satisfies(&self, row: &Row, p: &Predicate) -> Result<bool> {
+        match p {
+            Predicate::Str { attr, op, value } => {
+                let i = self.position(attr)?;
+                match &row[i] {
+                    None => Ok(false),
+                    Some(Value::Str(s)) => Ok(match op {
+                        CmpOp::Eq => s == value,
+                        CmpOp::Ne => s != value,
+                        other => {
+                            return Err(CoreError::BadPredicate(format!(
+                                "operator {} is not defined on strings",
+                                other
+                            )))
+                        }
+                    }),
+                    Some(_) => Err(CoreError::BadPredicate(format!(
+                        "string predicate on non-string attribute {:?}",
+                        attr
+                    ))),
+                }
+            }
+            Predicate::Linear { terms, constant, op } => {
+                let mut acc = constant.clone();
+                for (name, coeff) in terms {
+                    let i = self.position(name)?;
+                    match &row[i] {
+                        None => return Ok(false),
+                        Some(Value::Rat(v)) => acc += &(coeff * v),
+                        Some(_) => {
+                            return Err(CoreError::BadPredicate(format!(
+                                "numeric predicate on string attribute {:?}",
+                                name
+                            )))
+                        }
+                    }
+                }
+                Ok(match op {
+                    CmpOp::Eq => acc.is_zero(),
+                    CmpOp::Ne => !acc.is_zero(),
+                    CmpOp::Le => !acc.is_positive(),
+                    CmpOp::Lt => acc.is_negative(),
+                    CmpOp::Ge => !acc.is_negative(),
+                    CmpOp::Gt => acc.is_positive(),
+                })
+            }
+        }
+    }
+
+    /// `π_X` with duplicate elimination.
+    pub fn project(&self, names: &[String]) -> Result<RelTable> {
+        let idx: Vec<usize> = names.iter().map(|n| self.position(n)).collect::<Result<_>>()?;
+        let mut out = RelTable::new(names.to_vec());
+        for row in &self.rows {
+            out.rows.push(idx.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(out.normalized())
+    }
+
+    /// Natural join; shared attributes match by value, nulls never match.
+    pub fn join(&self, other: &RelTable) -> Result<RelTable> {
+        let shared: Vec<(usize, usize)> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| other.attrs.iter().position(|b| b == a).map(|j| (i, j)))
+            .collect();
+        let right_extra: Vec<usize> = (0..other.attrs.len())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+        let mut attrs = self.attrs.clone();
+        attrs.extend(right_extra.iter().map(|&j| other.attrs[j].clone()));
+        let mut out = RelTable::new(attrs);
+        for lr in &self.rows {
+            for rr in &other.rows {
+                let ok = shared.iter().all(|&(i, j)| {
+                    matches!((&lr[i], &rr[j]), (Some(a), Some(b)) if a == b)
+                });
+                if ok {
+                    let mut row = lr.clone();
+                    row.extend(right_extra.iter().map(|&j| rr[j].clone()));
+                    out.rows.push(row);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `∪` with set semantics.
+    pub fn union(&self, other: &RelTable) -> Result<RelTable> {
+        if self.attrs != other.attrs {
+            return Err(CoreError::SchemaMismatch("union over different attributes".into()));
+        }
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        Ok(out.normalized())
+    }
+
+    /// `ρ`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<RelTable> {
+        if self.attrs.iter().any(|a| a == to) {
+            return Err(CoreError::BadRename(format!("{:?} already exists", to)));
+        }
+        let i = self
+            .position(from)
+            .map_err(|_| CoreError::BadRename(format!("{:?} does not exist", from)))?;
+        let mut out = self.clone();
+        out.attrs[i] = to.to_string();
+        Ok(out)
+    }
+
+    /// `−` with set semantics; nulls compare equal for row identity.
+    pub fn difference(&self, other: &RelTable) -> Result<RelTable> {
+        if self.attrs != other.attrs {
+            return Err(CoreError::SchemaMismatch("difference over different attributes".into()));
+        }
+        let exclude: BTreeSet<&Row> = other.rows.iter().collect();
+        let mut out = RelTable::new(self.attrs.clone());
+        for row in &self.rows {
+            if !exclude.contains(row) {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out.normalized())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> RelTable {
+        let mut t = RelTable::new(vec!["name".into(), "age".into()]);
+        t.insert(vec![Some(Value::str("ann")), Some(Value::int(40))]);
+        t.insert(vec![Some(Value::str("bob")), Some(Value::int(25))]);
+        t.insert(vec![Some(Value::str("cat")), None]); // unknown age
+        t
+    }
+
+    #[test]
+    fn select_with_nulls() {
+        let t = people();
+        let forty = t.select(&Selection::all().cmp_int("age", CmpOp::Eq, 40)).unwrap();
+        assert_eq!(forty.len(), 1, "cat's null age does not match (the paper's example)");
+        let not_forty = t.select(&Selection::all().cmp_int("age", CmpOp::Ne, 40)).unwrap();
+        assert_eq!(not_forty.len(), 1, "null fails <> too");
+    }
+
+    #[test]
+    fn project_dedups() {
+        let mut t = RelTable::new(vec!["a".into(), "b".into()]);
+        t.insert(vec![Some(Value::int(1)), Some(Value::int(2))]);
+        t.insert(vec![Some(Value::int(1)), Some(Value::int(3))]);
+        let p = t.project(&["a".into()]).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn join_union_difference() {
+        let mut owns = RelTable::new(vec!["name".into(), "land".into()]);
+        owns.insert(vec![Some(Value::str("ann")), Some(Value::str("L1"))]);
+        owns.insert(vec![Some(Value::str("dee")), Some(Value::str("L2"))]);
+        let joined = people().join(&owns).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.attrs(), &["name", "age", "land"]);
+
+        let u = owns.union(&owns).unwrap();
+        assert_eq!(u.len(), 2, "set semantics");
+
+        let d = owns.difference(&owns).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn rename_checks() {
+        let t = people();
+        let r = t.rename("age", "years").unwrap();
+        assert!(r.attrs().contains(&"years".to_string()));
+        assert!(t.rename("age", "name").is_err());
+        assert!(t.rename("ghost", "x").is_err());
+    }
+}

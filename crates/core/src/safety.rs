@@ -1,0 +1,82 @@
+//! The safety checker: the closure requirement of §2.4 as a static check.
+//!
+//! The framework demands that "for each input, the queries must be
+//! evaluable in closed form" — the output must be representable in the
+//! same constraint class as the input. The six CQA primitives preserve
+//! this by construction (the linear class is closed under conjunction,
+//! disjunction, complement, and projection). The spatial `distance`
+//! operator does **not**: exposing the Euclidean distance between
+//! constraint attributes as an output attribute requires the quadratic
+//! constraint `d² = Δx² + Δy²`, which leaves the linear class. §4's
+//! whole-feature operators exist precisely to make such queries safe —
+//! their outputs are finite relations of feature IDs.
+
+use crate::error::{CoreError, Result};
+use crate::plan::Plan;
+
+/// Checks the closure/safety requirement on a plan. Returns the offending
+/// description on failure.
+pub fn check(plan: &Plan) -> Result<()> {
+    match plan {
+        Plan::Distance { left, right } => Err(CoreError::UnsafeOperation(format!(
+            "distance({}, {}) exposes a Euclidean distance as a constraint output; \
+             the result is not representable with rational linear constraints. \
+             Use BufferJoin (distance threshold) or KNearest (ranking) instead — \
+             their whole-feature outputs are safe (§4)",
+            left, right
+        ))),
+        Plan::Scan(_) | Plan::SpatialScan(_) | Plan::BufferJoin { .. } | Plan::KNearest { .. } => Ok(()),
+        Plan::Select { input, .. } | Plan::Project { input, .. } | Plan::Rename { input, .. } => {
+            check(input)
+        }
+        Plan::Join { left, right }
+        | Plan::Union { left, right }
+        | Plan::Difference { left, right } => {
+            check(left)?;
+            check(right)
+        }
+    }
+}
+
+/// Whether the plan passes the safety check.
+pub fn is_safe(plan: &Plan) -> bool {
+    check(plan).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_num::Rat;
+
+    #[test]
+    fn primitives_are_safe() {
+        let p = Plan::scan("A")
+            .join(Plan::scan("B"))
+            .select(crate::plan::Selection::all())
+            .project(&["x"]);
+        assert!(is_safe(&p));
+    }
+
+    #[test]
+    fn whole_feature_operators_are_safe() {
+        assert!(is_safe(&Plan::BufferJoin {
+            left: "Roads".into(),
+            right: "Cities".into(),
+            distance: Rat::from_int(5),
+        }));
+        assert!(is_safe(&Plan::KNearest { left: "R".into(), right: "C".into(), k: 3 }));
+    }
+
+    #[test]
+    fn distance_is_rejected_even_when_nested() {
+        let unsafe_leaf = Plan::Distance { left: "R".into(), right: "C".into() };
+        let nested = unsafe_leaf.select(crate::plan::Selection::all()).project(&["d"]);
+        let err = check(&nested).unwrap_err();
+        match err {
+            CoreError::UnsafeOperation(msg) => {
+                assert!(msg.contains("BufferJoin"), "error teaches the fix: {}", msg)
+            }
+            other => panic!("expected UnsafeOperation, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Heterogeneous relation schemas: attributes with a C/R flag (§3.2).
+//!
+//! The paper's fix for the missing attribute inconsistency: "for each
+//! attribute in the constraint relational schema, we introduce a flag that
+//! indicates whether the corresponding attribute is *constraint* or
+//! *relational*". The flag also establishes variable independence for
+//! relational attributes (§3.2 end), which the optimizer may rely on.
+
+use crate::error::{CoreError, Result};
+use cqa_constraints::Var;
+use std::fmt;
+
+/// The domain type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Strings (relational attributes only).
+    Str,
+    /// Exact rationals.
+    Rat,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttrType::Str => "string",
+            AttrType::Rat => "rational",
+        })
+    }
+}
+
+/// The C/R flag of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Narrow missing-value semantics (null, distinct from all values).
+    Relational,
+    /// Broad missing-value semantics (all domain values).
+    Constraint,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttrKind::Relational => "relational",
+            AttrKind::Constraint => "constraint",
+        })
+    }
+}
+
+/// One attribute definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// The attribute name.
+    pub name: String,
+    /// The domain type.
+    pub ty: AttrType,
+    /// The C/R flag.
+    pub kind: AttrKind,
+}
+
+impl AttrDef {
+    /// A relational string attribute.
+    pub fn str_rel(name: impl Into<String>) -> AttrDef {
+        AttrDef { name: name.into(), ty: AttrType::Str, kind: AttrKind::Relational }
+    }
+
+    /// A relational rational attribute.
+    pub fn rat_rel(name: impl Into<String>) -> AttrDef {
+        AttrDef { name: name.into(), ty: AttrType::Rat, kind: AttrKind::Relational }
+    }
+
+    /// A constraint (rational) attribute.
+    pub fn rat_con(name: impl Into<String>) -> AttrDef {
+        AttrDef { name: name.into(), ty: AttrType::Rat, kind: AttrKind::Constraint }
+    }
+}
+
+/// An ordered list of attribute definitions with unique names.
+///
+/// Constraint variables are positional: the attribute at index `i` is
+/// [`Var(i)`](cqa_constraints::Var) inside the tuples' conjunctions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Validates and builds a schema.
+    ///
+    /// Names must be unique and constraint attributes rational.
+    pub fn new(attrs: Vec<AttrDef>) -> Result<Schema> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(CoreError::DuplicateAttribute(a.name.clone()));
+            }
+            if a.kind == AttrKind::Constraint && a.ty != AttrType::Rat {
+                return Err(CoreError::NonRationalConstraintAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// The attributes, in order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The index of a named attribute.
+    pub fn position(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The definition of a named attribute.
+    pub fn attr(&self, name: &str) -> Result<&AttrDef> {
+        Ok(&self.attrs[self.position(name)?])
+    }
+
+    /// Whether the schema has an attribute of this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+
+    /// The constraint variable of the attribute at `index`.
+    pub fn var(&self, index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The constraint variable of a named attribute.
+    pub fn var_of(&self, name: &str) -> Result<Var> {
+        Ok(self.var(self.position(name)?))
+    }
+
+    /// Indexes of relational attributes.
+    pub fn relational_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttrKind::Relational)
+            .map(|(i, _)| i)
+    }
+
+    /// Indexes of constraint attributes.
+    pub fn constraint_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttrKind::Constraint)
+            .map(|(i, _)| i)
+    }
+
+    /// Whether every attribute is relational (a traditional relation).
+    pub fn is_purely_relational(&self) -> bool {
+        self.attrs.iter().all(|a| a.kind == AttrKind::Relational)
+    }
+
+    /// Requires two schemas to be identical (union/difference compatibility).
+    pub fn require_same(&self, other: &Schema) -> Result<()> {
+        if self != other {
+            return Err(CoreError::SchemaMismatch(format!("{} vs {}", self, other)));
+        }
+        Ok(())
+    }
+
+    /// The schema resulting from a natural join: this schema's attributes
+    /// followed by the other's non-shared ones. Shared attributes must
+    /// agree on type and kind.
+    pub fn join(&self, other: &Schema) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        for b in &other.attrs {
+            match self.attrs.iter().find(|a| a.name == b.name) {
+                None => attrs.push(b.clone()),
+                Some(a) => {
+                    if a.ty != b.ty {
+                        return Err(CoreError::TypeMismatch {
+                            attribute: b.name.clone(),
+                            expected: match a.ty {
+                                AttrType::Str => "string",
+                                AttrType::Rat => "rational",
+                            },
+                        });
+                    }
+                    if a.kind != b.kind {
+                        return Err(CoreError::KindMismatch(b.name.clone()));
+                    }
+                }
+            }
+        }
+        Schema::new(attrs)
+    }
+
+    /// The schema resulting from projecting onto the named attributes (in
+    /// the given order).
+    pub fn project(&self, names: &[String]) -> Result<Schema> {
+        let attrs = names
+            .iter()
+            .map(|n| self.attr(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(attrs)
+    }
+
+    /// The schema with `from` renamed to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema> {
+        if self.contains(to) {
+            return Err(CoreError::BadRename(format!("{:?} already exists", to)));
+        }
+        let idx = self
+            .position(from)
+            .map_err(|_| CoreError::BadRename(format!("{:?} does not exist", from)))?;
+        let mut attrs = self.attrs.clone();
+        attrs[idx].name = to.to_string();
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {} {}", a.name, a.ty, a.kind)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hurricane() -> Schema {
+        // The paper's Hurricane relation: [t, x, y: rational, constraint]
+        Schema::new(vec![
+            AttrDef::rat_con("t"),
+            AttrDef::rat_con("x"),
+            AttrDef::rat_con("y"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Schema::new(vec![AttrDef::str_rel("a"), AttrDef::str_rel("a")]),
+            Err(CoreError::DuplicateAttribute(_))
+        ));
+        let bad = AttrDef { name: "s".into(), ty: AttrType::Str, kind: AttrKind::Constraint };
+        assert!(matches!(
+            Schema::new(vec![bad]),
+            Err(CoreError::NonRationalConstraintAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn lookups() {
+        let s = hurricane();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("x").unwrap(), 1);
+        assert!(s.position("zz").is_err());
+        assert_eq!(s.var_of("y").unwrap(), Var(2));
+        assert!(s.contains("t"));
+        assert!(!s.is_purely_relational());
+    }
+
+    #[test]
+    fn kind_partition() {
+        let s = Schema::new(vec![
+            AttrDef::str_rel("landId"),
+            AttrDef::rat_con("x"),
+            AttrDef::rat_con("y"),
+        ])
+        .unwrap();
+        assert_eq!(s.relational_positions().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.constraint_positions().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn join_schema() {
+        let land = Schema::new(vec![
+            AttrDef::str_rel("landId"),
+            AttrDef::rat_con("x"),
+            AttrDef::rat_con("y"),
+        ])
+        .unwrap();
+        let joined = land.join(&hurricane()).unwrap();
+        let names: Vec<&str> = joined.attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["landId", "x", "y", "t"]);
+
+        // Kind mismatch on a shared attribute is rejected.
+        let clash = Schema::new(vec![AttrDef::rat_rel("x")]).unwrap();
+        assert!(matches!(land.join(&clash), Err(CoreError::KindMismatch(_))));
+    }
+
+    #[test]
+    fn project_and_rename() {
+        let s = hurricane();
+        let p = s.project(&["y".into(), "t".into()]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.attrs()[0].name, "y");
+        assert!(s.project(&["nope".into()]).is_err());
+
+        let r = s.rename("t", "time").unwrap();
+        assert!(r.contains("time") && !r.contains("t"));
+        assert!(s.rename("t", "x").is_err());
+        assert!(s.rename("gone", "t2").is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = hurricane();
+        assert_eq!(s.to_string(), "[t: rational constraint, x: rational constraint, y: rational constraint]");
+    }
+}

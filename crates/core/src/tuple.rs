@@ -1,0 +1,325 @@
+//! Heterogeneous tuples.
+//!
+//! A tuple of the heterogeneous model carries:
+//!
+//! * one optional [`Value`] per *relational* attribute — `None` is the SQL
+//!   null of the narrow semantics (§3.1);
+//! * one [`Conjunction`] of linear constraints over the *constraint*
+//!   attributes, addressed positionally (`Var(i)` for schema index `i`).
+//!   A constraint attribute not mentioned by the conjunction is
+//!   *broad* — it admits every domain value (Definition 1).
+
+use crate::error::{CoreError, Result};
+use crate::schema::{AttrKind, AttrType, Schema};
+use crate::value::Value;
+use cqa_constraints::{Assignment, Atom, Conjunction, LinExpr, Var};
+use cqa_num::Rat;
+use std::fmt;
+
+/// One heterogeneous tuple; always interpreted relative to a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    /// Slot per schema attribute; constraint slots are always `None`.
+    values: Vec<Option<Value>>,
+    /// Constraints over the constraint attributes (positional vars).
+    constraint: Conjunction,
+}
+
+impl Tuple {
+    /// Starts building a tuple for `schema`.
+    pub fn builder(schema: &Schema) -> TupleBuilder<'_> {
+        TupleBuilder {
+            schema,
+            values: vec![None; schema.arity()],
+            constraint: Conjunction::tru(),
+            error: None,
+        }
+    }
+
+    /// Constructs from raw parts (used by operators; validates shape only).
+    pub(crate) fn from_parts(values: Vec<Option<Value>>, constraint: Conjunction) -> Tuple {
+        Tuple { values, constraint }
+    }
+
+    /// The value in slot `i` (always `None` for constraint attributes).
+    pub fn value(&self, i: usize) -> Option<&Value> {
+        self.values.get(i).and_then(|v| v.as_ref())
+    }
+
+    /// All value slots.
+    pub(crate) fn values(&self) -> &[Option<Value>] {
+        &self.values
+    }
+
+    /// The constraint part.
+    pub fn constraint(&self) -> &Conjunction {
+        &self.constraint
+    }
+
+    /// Whether the constraint part is satisfiable (an unsatisfiable tuple
+    /// denotes no points and may be dropped by operators).
+    pub fn is_satisfiable(&self) -> bool {
+        self.constraint.is_satisfiable()
+    }
+
+    /// Point membership under heterogeneous semantics: `point` binds every
+    /// attribute (by schema position). A null relational slot matches no
+    /// value (narrow); an unconstrained constraint attribute matches every
+    /// value (broad).
+    pub fn contains_point(&self, schema: &Schema, point: &[Value]) -> Result<bool> {
+        debug_assert_eq!(point.len(), schema.arity());
+        let mut asg = Assignment::new();
+        for (i, attr) in schema.attrs().iter().enumerate() {
+            match attr.kind {
+                AttrKind::Relational => {
+                    match &self.values[i] {
+                        Some(v) if v == &point[i] => {}
+                        _ => return Ok(false), // null or mismatch: narrow
+                    }
+                }
+                AttrKind::Constraint => {
+                    let r = point[i].as_rat().ok_or(CoreError::TypeMismatch {
+                        attribute: attr.name.clone(),
+                        expected: "rational",
+                    })?;
+                    asg.set(schema.var(i), r.clone());
+                }
+            }
+        }
+        Ok(self.constraint.eval(&asg).unwrap_or(false))
+    }
+
+    /// Renders the tuple against its schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tuple, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                let mut first = true;
+                for (i, attr) in self.1.attrs().iter().enumerate() {
+                    if attr.kind == AttrKind::Relational {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        match &self.0.values[i] {
+                            Some(v) => write!(f, "{} = {}", attr.name, v)?,
+                            None => write!(f, "{} = null", attr.name)?,
+                        }
+                        first = false;
+                    }
+                }
+                let names: Vec<String> =
+                    self.1.attrs().iter().map(|a| a.name.clone()).collect();
+                let name = move |v: Var| {
+                    names.get(v.0 as usize).cloned().unwrap_or_else(|| v.to_string())
+                };
+                if !self.0.constraint.is_empty() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    let d = self.0.constraint.display_with(&name);
+                    write!(f, "{}", d)?;
+                } else if self.1.constraint_positions().next().is_some() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "true")?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// Incremental tuple construction with validation.
+pub struct TupleBuilder<'s> {
+    schema: &'s Schema,
+    values: Vec<Option<Value>>,
+    constraint: Conjunction,
+    error: Option<CoreError>,
+}
+
+impl<'s> TupleBuilder<'s> {
+    /// Sets a relational attribute's value.
+    pub fn set(mut self, name: &str, value: impl Into<Value>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let value = value.into();
+        match self.schema.attr(name) {
+            Err(e) => self.error = Some(e),
+            Ok(attr) => {
+                if attr.kind != AttrKind::Relational {
+                    self.error = Some(CoreError::BadPredicate(format!(
+                        "attribute {:?} is a constraint attribute; use constraints",
+                        name
+                    )));
+                } else {
+                    let ok = matches!(
+                        (attr.ty, &value),
+                        (AttrType::Str, Value::Str(_)) | (AttrType::Rat, Value::Rat(_))
+                    );
+                    if !ok {
+                        self.error = Some(CoreError::TypeMismatch {
+                            attribute: name.to_string(),
+                            expected: match attr.ty {
+                                AttrType::Str => "string",
+                                AttrType::Rat => "rational",
+                            },
+                        });
+                    } else {
+                        let i = self.schema.position(name).expect("checked");
+                        self.values[i] = Some(value);
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Adds a raw constraint atom (variables are schema positions).
+    pub fn atom(mut self, atom: Atom) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        for v in atom.vars() {
+            match self.schema.attrs().get(v.0 as usize) {
+                Some(a) if a.kind == AttrKind::Constraint => {}
+                _ => {
+                    self.error = Some(CoreError::BadPredicate(format!(
+                        "atom variable {} is not a constraint attribute",
+                        v
+                    )));
+                    return self;
+                }
+            }
+        }
+        self.constraint.add(atom);
+        self
+    }
+
+    /// Constrains `name` to `[lo, hi]`.
+    pub fn range(self, name: &str, lo: i64, hi: i64) -> Self {
+        self.range_rat(name, Rat::from_int(lo), Rat::from_int(hi))
+    }
+
+    /// Constrains `name` to `[lo, hi]` with rational endpoints.
+    pub fn range_rat(mut self, name: &str, lo: Rat, hi: Rat) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.var_of(name) {
+            Err(e) => {
+                self.error = Some(e);
+                self
+            }
+            Ok(v) => self
+                .atom(Atom::ge(LinExpr::var(v), LinExpr::constant(lo)))
+                .atom(Atom::le(LinExpr::var(v), LinExpr::constant(hi))),
+        }
+    }
+
+    /// Pins `name` to a single rational value with an equality constraint.
+    pub fn pin(mut self, name: &str, value: Rat) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.var_of(name) {
+            Err(e) => {
+                self.error = Some(e);
+                self
+            }
+            Ok(v) => self.atom(Atom::var_eq_const(v, value)),
+        }
+    }
+
+    /// Finishes, validating the result.
+    pub fn build(self) -> Result<Tuple> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Tuple { values: self.values, constraint: self.constraint })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrDef;
+
+    fn land() -> Schema {
+        Schema::new(vec![
+            AttrDef::str_rel("landId"),
+            AttrDef::rat_con("x"),
+            AttrDef::rat_con("y"),
+        ])
+        .unwrap()
+    }
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+    fn n(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let s = land();
+        let t = Tuple::builder(&s)
+            .set("landId", "A")
+            .range("x", 0, 2)
+            .range("y", 3, 6)
+            .build()
+            .unwrap();
+        assert_eq!(t.value(0), Some(&v("A")));
+        assert!(t.is_satisfiable());
+        assert!(t.contains_point(&s, &[v("A"), n(1), n(4)]).unwrap());
+        assert!(!t.contains_point(&s, &[v("A"), n(5), n(4)]).unwrap());
+        assert!(!t.contains_point(&s, &[v("B"), n(1), n(4)]).unwrap());
+    }
+
+    #[test]
+    fn builder_rejects_bad_usage() {
+        let s = land();
+        assert!(Tuple::builder(&s).set("x", 3).build().is_err()); // constraint attr by value
+        assert!(Tuple::builder(&s).set("landId", 3).build().is_err()); // type error
+        assert!(Tuple::builder(&s).set("missing", "v").build().is_err());
+        assert!(Tuple::builder(&s).range("landId", 0, 1).build().is_err());
+    }
+
+    #[test]
+    fn broad_semantics_for_unmentioned_constraint_attr() {
+        // Example 2 of the paper: R = {(x = 1)} over {x, y} admits all y.
+        let s = Schema::new(vec![AttrDef::rat_con("x"), AttrDef::rat_con("y")]).unwrap();
+        let t = Tuple::builder(&s).pin("x", Rat::from_int(1)).build().unwrap();
+        assert!(t.contains_point(&s, &[n(1), n(17)]).unwrap());
+        assert!(t.contains_point(&s, &[n(1), n(-999)]).unwrap());
+        assert!(!t.contains_point(&s, &[n(2), n(17)]).unwrap());
+    }
+
+    #[test]
+    fn narrow_semantics_for_null_relational_attr() {
+        // The employee with missing age must not match "age = 40".
+        let s = Schema::new(vec![AttrDef::str_rel("name"), AttrDef::rat_rel("age")]).unwrap();
+        let t = Tuple::builder(&s).set("name", "pat").build().unwrap();
+        assert!(!t.contains_point(&s, &[v("pat"), n(40)]).unwrap());
+    }
+
+    #[test]
+    fn display_shows_both_parts() {
+        let s = land();
+        let t = Tuple::builder(&s)
+            .set("landId", "A")
+            .range("x", 0, 2)
+            .build()
+            .unwrap();
+        let shown = t.display(&s).to_string();
+        assert!(shown.contains("landId = \"A\""), "{}", shown);
+        assert!(shown.contains('x'), "{}", shown);
+        // Pure-broad tuple displays `true` for the constraint part.
+        let t2 = Tuple::builder(&s).set("landId", "B").build().unwrap();
+        assert!(t2.display(&s).to_string().contains("true"));
+    }
+}

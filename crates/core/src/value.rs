@@ -1,0 +1,100 @@
+//! Atomic values of relational attributes.
+
+use cqa_num::Rat;
+use std::fmt;
+
+/// A value of a relational attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An exact rational number.
+    Rat(Rat),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(v: i64) -> Value {
+        Value::Rat(Rat::from_int(v))
+    }
+
+    /// Convenience constructor for rationals.
+    pub fn rat(r: Rat) -> Value {
+        Value::Rat(r)
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Rat(_) => None,
+        }
+    }
+
+    /// The rational content, if numeric.
+    pub fn as_rat(&self) -> Option<&Rat> {
+        match self {
+            Value::Rat(r) => Some(r),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{:?}", s),
+            Value::Rat(r) => write!(f, "{}", r),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::int(v)
+    }
+}
+
+impl From<Rat> for Value {
+    fn from(r: Rat) -> Value {
+        Value::Rat(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Value::str("abc");
+        assert_eq!(s.as_str(), Some("abc"));
+        assert_eq!(s.as_rat(), None);
+        let n = Value::int(3);
+        assert_eq!(n.as_rat(), Some(&Rat::from_int(3)));
+        assert_eq!(n.as_str(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::rat(Rat::from_pair(1, 2)).to_string(), "1/2");
+    }
+
+    #[test]
+    fn equality_is_exact() {
+        assert_eq!(Value::rat(Rat::from_pair(2, 4)), Value::rat(Rat::from_pair(1, 2)));
+        assert_ne!(Value::str("1/2"), Value::rat(Rat::from_pair(1, 2)));
+    }
+}

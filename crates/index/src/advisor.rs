@@ -1,0 +1,224 @@
+//! A heuristic for the paper's open problem (§5.4):
+//!
+//! > *Given a constraint relation over attributes `X = {x₁, …, xₖ}`,
+//! > determine a set of subsets of `X` that should correspond to indices
+//! > over `X`, with one index per subset.*
+//!
+//! §5.3 identifies the two forces: attribute *selectivity* and which
+//! combinations of attributes "typical" queries constrain. The advisor
+//! turns those into an analytic cost model and greedily merges attribute
+//! subsets while the modeled workload cost decreases.
+//!
+//! The cost model (per query, per index over subset `S`):
+//!
+//! ```text
+//! cost(S, Q) = height(S) + leaves(S) · ∏_{a ∈ S} sel(a, Q)
+//! ```
+//!
+//! where `sel(a, Q)` is the query's selectivity on attribute `a` (1.0 when
+//! the query does not constrain `a`), `leaves(S) = N / fanout(|S|)`, and
+//! `fanout` shrinks as `|S|` grows because wider keys fit fewer entries per
+//! page — the real storage trade-off behind the paper's Figures 4 and 5. A
+//! query is charged for every index that overlaps its constrained set
+//! (results from multiple indexes must be intersected, as in the separate
+//! strategy of §5.4.1).
+
+use crate::rstar::RStarParams;
+use std::collections::BTreeSet;
+
+/// One query's shape: which attributes it constrains and how selectively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// `selectivity[a]` is the fraction of the attribute's domain the query
+    /// admits; `None` means the attribute is unconstrained.
+    pub selectivity: Vec<Option<f64>>,
+}
+
+impl QueryProfile {
+    /// Builds a profile from `(attribute, selectivity)` pairs over `k`
+    /// attributes.
+    pub fn new(k: usize, constrained: impl IntoIterator<Item = (usize, f64)>) -> QueryProfile {
+        let mut selectivity = vec![None; k];
+        for (a, s) in constrained {
+            selectivity[a] = Some(s.clamp(0.0, 1.0));
+        }
+        QueryProfile { selectivity }
+    }
+
+    /// The set of constrained attributes.
+    pub fn constrained(&self) -> BTreeSet<usize> {
+        self.selectivity
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| i))
+            .collect()
+    }
+}
+
+/// The index advisor.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    /// Number of attributes in the relation.
+    pub attributes: usize,
+    /// Number of tuples in the relation.
+    pub tuples: usize,
+}
+
+impl Advisor {
+    /// Creates an advisor for a relation of `tuples` rows over `attributes`
+    /// indexable attributes.
+    pub fn new(attributes: usize, tuples: usize) -> Advisor {
+        Advisor { attributes, tuples }
+    }
+
+    fn fanout(dims: usize) -> f64 {
+        RStarParams::fitting_page(dims).max_entries as f64
+    }
+
+    /// Modeled disk accesses for one query against one index subset.
+    fn index_cost(&self, subset: &BTreeSet<usize>, q: &QueryProfile) -> f64 {
+        let f = Self::fanout(subset.len());
+        let n = self.tuples as f64;
+        let height = (n.ln() / f.ln()).ceil().max(1.0);
+        let leaves = (n / f).ceil();
+        let sel: f64 = subset
+            .iter()
+            .map(|&a| q.selectivity[a].unwrap_or(1.0))
+            .product();
+        height + leaves * sel
+    }
+
+    /// Modeled cost of a whole workload under a partition of the
+    /// attributes into index subsets.
+    pub fn estimate_cost(&self, partition: &[BTreeSet<usize>], workload: &[QueryProfile]) -> f64 {
+        workload
+            .iter()
+            .map(|q| {
+                let constrained = q.constrained();
+                if constrained.is_empty() {
+                    // Unconstrained query: scan the leaves of one index.
+                    let s = &partition[0];
+                    return (self.tuples as f64 / Self::fanout(s.len())).ceil();
+                }
+                partition
+                    .iter()
+                    .filter(|s| s.intersection(&constrained).next().is_some())
+                    .map(|s| self.index_cost(s, q))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Greedy subset selection: start from singletons, merge the pair whose
+    /// merge reduces modeled workload cost most, stop when no merge helps.
+    pub fn recommend(&self, workload: &[QueryProfile]) -> Vec<BTreeSet<usize>> {
+        let mut partition: Vec<BTreeSet<usize>> =
+            (0..self.attributes).map(|a| BTreeSet::from([a])).collect();
+        loop {
+            let current = self.estimate_cost(&partition, workload);
+            let mut best: Option<(f64, usize, usize)> = None;
+            for i in 0..partition.len() {
+                for j in i + 1..partition.len() {
+                    let mut candidate = partition.clone();
+                    let merged: BTreeSet<usize> =
+                        candidate[i].union(&candidate[j]).copied().collect();
+                    candidate[i] = merged;
+                    candidate.remove(j);
+                    let cost = self.estimate_cost(&candidate, workload);
+                    if cost < current && best.is_none_or(|(c, _, _)| cost < c) {
+                        best = Some((cost, i, j));
+                    }
+                }
+            }
+            match best {
+                Some((_, i, j)) => {
+                    let merged: BTreeSet<usize> =
+                        partition[i].union(&partition[j]).copied().collect();
+                    partition[i] = merged;
+                    partition.remove(j);
+                }
+                None => return partition,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets(v: &[&[usize]]) -> Vec<BTreeSet<usize>> {
+        v.iter().map(|s| s.iter().copied().collect()).collect()
+    }
+
+    #[test]
+    fn two_attribute_workload_prefers_joint() {
+        let advisor = Advisor::new(2, 10_000);
+        // Every query constrains both attributes moderately selectively.
+        let workload: Vec<QueryProfile> =
+            (0..10).map(|_| QueryProfile::new(2, [(0, 0.05), (1, 0.05)])).collect();
+        let rec = advisor.recommend(&workload);
+        assert_eq!(rec, sets(&[&[0, 1]]), "joint index for conjunctive workloads");
+    }
+
+    #[test]
+    fn single_attribute_workload_prefers_separate() {
+        let advisor = Advisor::new(2, 10_000);
+        let mut workload = Vec::new();
+        for _ in 0..5 {
+            workload.push(QueryProfile::new(2, [(0, 0.05)]));
+            workload.push(QueryProfile::new(2, [(1, 0.05)]));
+        }
+        let rec = advisor.recommend(&workload);
+        assert_eq!(rec.len(), 2, "separate indices for single-attribute workloads");
+    }
+
+    #[test]
+    fn correlated_pair_grouped_apart_from_loner() {
+        let advisor = Advisor::new(3, 100_000);
+        // Attributes 0 and 1 always queried together and selectively;
+        // attribute 2 queried alone.
+        let mut workload = Vec::new();
+        for _ in 0..10 {
+            workload.push(QueryProfile::new(3, [(0, 0.02), (1, 0.02)]));
+            workload.push(QueryProfile::new(3, [(2, 0.02)]));
+        }
+        let rec = advisor.recommend(&workload);
+        assert!(rec.contains(&BTreeSet::from([0, 1])), "pair grouped: {:?}", rec);
+        assert!(rec.contains(&BTreeSet::from([2])), "loner separate: {:?}", rec);
+    }
+
+    #[test]
+    fn cost_model_orders_strategies_like_figure_4() {
+        // For both-attribute queries the joint partition must model cheaper
+        // than the separate one (the paper's Figure 4 conclusion).
+        let advisor = Advisor::new(2, 10_000);
+        let workload: Vec<QueryProfile> =
+            (0..100).map(|_| QueryProfile::new(2, [(0, 0.03), (1, 0.03)])).collect();
+        let joint = advisor.estimate_cost(&sets(&[&[0, 1]]), &workload);
+        let separate = advisor.estimate_cost(&sets(&[&[0], &[1]]), &workload);
+        assert!(joint < separate, "joint {} vs separate {}", joint, separate);
+    }
+
+    #[test]
+    fn cost_model_orders_strategies_like_figure_5() {
+        // For one-attribute queries the separate partition models cheaper
+        // (Figure 5), because the joint index pays selectivity 1.0 on the
+        // unconstrained dimension.
+        let advisor = Advisor::new(2, 10_000);
+        let workload: Vec<QueryProfile> =
+            (0..100).map(|_| QueryProfile::new(2, [(0, 0.03)])).collect();
+        let joint = advisor.estimate_cost(&sets(&[&[0, 1]]), &workload);
+        let separate = advisor.estimate_cost(&sets(&[&[0], &[1]]), &workload);
+        assert!(separate < joint, "separate {} vs joint {}", separate, joint);
+    }
+
+    #[test]
+    fn unconstrained_queries_do_not_crash() {
+        let advisor = Advisor::new(2, 1000);
+        let workload = vec![QueryProfile::new(2, [])];
+        let cost = advisor.estimate_cost(&sets(&[&[0], &[1]]), &workload);
+        assert!(cost > 0.0);
+        let _ = advisor.recommend(&workload);
+    }
+}

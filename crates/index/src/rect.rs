@@ -1,0 +1,203 @@
+//! Axis-aligned rectangles in `D` dimensions.
+//!
+//! Index keys are `f64` boxes: the index is a *filter* step, so a
+//! conservative floating-point enclosure of the exact rational extent is
+//! sound — candidate tuples are re-checked exactly by the constraint engine
+//! (the multi-step processing of spatial queries, the paper's \[3\]).
+
+/// An axis-aligned box `[lo[i], hi[i]]` in each dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Lower corner.
+    pub lo: [f64; D],
+    /// Upper corner.
+    pub hi: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Builds a rectangle; panics in debug builds if any `lo > hi` or a
+    /// coordinate is NaN.
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Rect<D> {
+        debug_assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h && !l.is_nan() && !h.is_nan()),
+            "invalid rect {:?}..{:?}",
+            lo,
+            hi
+        );
+        Rect { lo, hi }
+    }
+
+    /// A degenerate rectangle at a single point.
+    pub fn point(p: [f64; D]) -> Rect<D> {
+        Rect::new(p, p)
+    }
+
+    /// The rectangle that contains nothing (identity for union).
+    pub fn empty() -> Rect<D> {
+        Rect { lo: [f64::INFINITY; D], hi: [f64::NEG_INFINITY; D] }
+    }
+
+    /// Whether this is the empty rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// Side length in dimension `d` (0 for the empty rectangle).
+    pub fn extent(&self, d: usize) -> f64 {
+        (self.hi[d] - self.lo[d]).max(0.0)
+    }
+
+    /// Area (volume): the product of extents.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|d| self.extent(d)).product()
+    }
+
+    /// Margin: the sum of extents (half-perimeter in 2-D).
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|d| self.extent(d)).sum()
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..D {
+            lo[d] = lo[d].min(other.lo[d]);
+            hi[d] = hi[d].max(other.hi[d]);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Whether the rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
+    }
+
+    /// The common area of the two rectangles.
+    pub fn overlap_area(&self, other: &Rect<D>) -> f64 {
+        let mut acc = 1.0;
+        for d in 0..D {
+            let w = self.hi[d].min(other.hi[d]) - self.lo[d].max(other.lo[d]);
+            if w <= 0.0 {
+                return 0.0;
+            }
+            acc *= w;
+        }
+        acc
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// How much this rectangle's area grows to absorb `other`.
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// The center point.
+    pub fn center(&self) -> [f64; D] {
+        let mut c = [0.0; D];
+        for (d, slot) in c.iter_mut().enumerate() {
+            *slot = (self.lo[d] + self.hi[d]) / 2.0;
+        }
+        c
+    }
+
+    /// Squared distance between centers (used by forced reinsertion).
+    pub fn center_distance2(&self, other: &Rect<D>) -> f64 {
+        let (a, b) = (self.center(), other.center());
+        (0..D).map(|d| (a[d] - b[d]) * (a[d] - b[d])).sum()
+    }
+
+    /// Clamps infinite coordinates to `±world`, giving a finite enclosure
+    /// of possibly-unbounded constraint extents for use as an index key.
+    pub fn clamped(&self, world: f64) -> Rect<D> {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..D {
+            lo[d] = lo[d].max(-world);
+            hi[d] = hi[d].min(world);
+        }
+        Rect { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(lo, hi)
+    }
+
+    #[test]
+    fn area_margin() {
+        let r = r2([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(r.area(), 6.0);
+        assert_eq!(r.margin(), 5.0);
+        assert_eq!(Rect::<2>::point([1.0, 1.0]).area(), 0.0);
+        assert_eq!(Rect::<2>::empty().area(), 0.0);
+        assert!(Rect::<2>::empty().is_empty());
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r2([0.0, 0.0], [1.0, 1.0]);
+        let b = r2([2.0, 2.0], [3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u, r2([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.enlargement(&b), 8.0);
+        assert_eq!(Rect::<2>::empty().union(&a), a);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([1.0, 1.0], [3.0, 3.0]);
+        let c = r2([2.0, 2.0], [3.0, 3.0]); // touches at corner
+        let d = r2([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert!(a.contains_rect(&r2([0.5, 0.5], [1.0, 1.0])));
+        assert!(!a.contains_rect(&b));
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let a: Rect<1> = Rect::new([1.0], [5.0]);
+        let b: Rect<1> = Rect::new([4.0], [9.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.union(&b), Rect::new([1.0], [9.0]));
+        assert_eq!(a.area(), 4.0);
+        assert_eq!(a.margin(), 4.0);
+    }
+
+    #[test]
+    fn center_and_distance() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([4.0, 0.0], [6.0, 2.0]);
+        assert_eq!(a.center(), [1.0, 1.0]);
+        assert_eq!(a.center_distance2(&b), 16.0);
+    }
+
+    #[test]
+    fn clamping_unbounded() {
+        let r = Rect::new([f64::NEG_INFINITY, 0.0], [f64::INFINITY, 1.0]);
+        let c = r.clamped(1e6);
+        assert_eq!(c.lo[0], -1e6);
+        assert_eq!(c.hi[0], 1e6);
+        assert_eq!(c.lo[1], 0.0);
+        assert!(c.area().is_finite());
+    }
+}

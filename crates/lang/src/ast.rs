@@ -1,0 +1,143 @@
+//! Abstract syntax of query scripts.
+
+use cqa_num::Rat;
+
+/// A comparison operator in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+/// One side of a condition: a linear expression or a string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondSide {
+    /// `c₁·a₁ + … + k` with named attributes.
+    Linear {
+        /// Attribute terms.
+        terms: Vec<(String, Rat)>,
+        /// Constant addend.
+        constant: Rat,
+    },
+    /// A quoted string.
+    Str(String),
+}
+
+/// A single condition `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Left side.
+    pub lhs: CondSide,
+    /// Operator.
+    pub op: AstOp,
+    /// Right side.
+    pub rhs: CondSide,
+}
+
+/// A query expression (the right-hand side of a script statement).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// `select conds from input`
+    Select {
+        /// The conjunction of conditions.
+        conds: Vec<Cond>,
+        /// Input relation name.
+        input: String,
+    },
+    /// `project input on attrs`
+    Project {
+        /// Input relation name.
+        input: String,
+        /// Attribute list.
+        attrs: Vec<String>,
+    },
+    /// `join a and b`
+    Join(String, String),
+    /// `union a and b`
+    Union(String, String),
+    /// `diff a and b`
+    Diff(String, String),
+    /// `rename a to b in input`
+    Rename {
+        /// Attribute to rename.
+        from: String,
+        /// New name.
+        to: String,
+        /// Input relation name.
+        input: String,
+    },
+    /// `bufferjoin a and b distance d`
+    BufferJoin(String, String, Rat),
+    /// `knearest a and b k n`
+    KNearest(String, String, usize),
+    /// `distance a and b` — parses, then fails the safety check.
+    Distance(String, String),
+    /// `spatial REL` — the constraint form of a vector-model relation.
+    SpatialScan(String),
+}
+
+/// One statement: a query binding or a data-definition command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `NAME = expr`.
+    Query {
+        /// Name the result is bound to.
+        target: String,
+        /// The query expression.
+        expr: QueryExpr,
+        /// Source line (for error reporting).
+        line: usize,
+    },
+    /// `create relation NAME { attr: type kind; ... }`.
+    CreateRelation {
+        /// Relation name.
+        name: String,
+        /// The validated schema.
+        schema: cqa_core::Schema,
+        /// Source line.
+        line: usize,
+    },
+    /// `insert into NAME { conds }` — a tuple block, as in `.cdb` files.
+    Insert {
+        /// Target relation.
+        name: String,
+        /// The tuple's conditions.
+        conds: Vec<Cond>,
+        /// Source line.
+        line: usize,
+    },
+    /// `drop NAME`.
+    Drop {
+        /// Relation to remove.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A whole script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Statements in order.
+    pub statements: Vec<Statement>,
+}
+
+impl Statement {
+    /// The query expression, when this is a `NAME = expr` statement.
+    pub fn query_expr(&self) -> Option<&QueryExpr> {
+        match self {
+            Statement::Query { expr, .. } => Some(expr),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Tokenizer for query scripts and `.cdb` files.
+
+use cqa_num::Rat;
+use std::fmt;
+
+/// A lexical or syntactic error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl LangError {
+    pub(crate) fn new(line: usize, col: usize, msg: impl Into<String>) -> LangError {
+        LangError { line, col, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (keywords are recognized contextually by the parser).
+    Ident(String),
+    /// String literal (quotes removed).
+    Str(String),
+    /// Numeric literal (decimal or integer), kept exact.
+    Num(Rat),
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/` (inside numeric literals like `1/3` handled by parser as division of constants)
+    Slash,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of one logical line (newline outside braces/parens).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {:?}", s),
+            Tok::Str(s) => write!(f, "string {:?}", s),
+            Tok::Num(n) => write!(f, "number {}", n),
+            Tok::Eq => f.write_str("'='"),
+            Tok::Ne => f.write_str("'<>'"),
+            Tok::Le => f.write_str("'<='"),
+            Tok::Lt => f.write_str("'<'"),
+            Tok::Ge => f.write_str("'>='"),
+            Tok::Gt => f.write_str("'>'"),
+            Tok::Plus => f.write_str("'+'"),
+            Tok::Minus => f.write_str("'-'"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::Slash => f.write_str("'/'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Semi => f.write_str("';'"),
+            Tok::Colon => f.write_str("':'"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::LBrace => f.write_str("'{'"),
+            Tok::RBrace => f.write_str("'}'"),
+            Tok::Newline => f.write_str("end of line"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes input. Newlines become [`Tok::Newline`] tokens only at nesting
+/// depth zero, so multi-line `{ … }` blocks parse naturally while query
+/// scripts stay line-oriented.
+pub fn lex(input: &str) -> Result<Vec<Token>, LangError> {
+    let mut out: Vec<Token> = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut depth = 0usize;
+    let mut chars = input.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Token { tok: $tok, line: $l, col: $c })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                if depth == 0 {
+                    // Collapse runs of newlines.
+                    if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+                        push!(Tok::Newline, tl, tc);
+                    }
+                }
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None | Some('\n') => {
+                            return Err(LangError::new(tl, tc, "unterminated string literal"))
+                        }
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some(c2) => {
+                            s.push(c2);
+                            col += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s), tl, tc);
+            }
+            '0'..='9' | '.' => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() || c2 == '.' {
+                        s.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let num = Rat::from_decimal_str(&s)
+                    .map_err(|_| LangError::new(tl, tc, format!("bad number {:?}", s)))?;
+                push!(Tok::Num(num), tl, tc);
+            }
+            c2 if c2.is_alphabetic() || c2 == '_' => {
+                let mut s = String::new();
+                while let Some(&c3) = chars.peek() {
+                    if c3.is_alphanumeric() || c3 == '_' {
+                        s.push(c3);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(s), tl, tc);
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::Le, tl, tc);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::Ne, tl, tc);
+                    }
+                    _ => push!(Tok::Lt, tl, tc),
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Ge, tl, tc);
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Eq, tl, tc);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Plus, tl, tc);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Minus, tl, tc);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Star, tl, tc);
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Slash, tl, tc);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, tl, tc);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Semi, tl, tc);
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Colon, tl, tc);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, tl, tc);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, tl, tc);
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                depth += 1;
+                push!(Tok::LBrace, tl, tc);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                depth = depth.saturating_sub(1);
+                push!(Tok::RBrace, tl, tc);
+            }
+            other => {
+                return Err(LangError::new(tl, tc, format!("unexpected character {:?}", other)))
+            }
+        }
+    }
+    if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+        push!(Tok::Newline, line, col);
+    }
+    push!(Tok::Eof, line, col);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let toks = kinds("R0 = select t >= 4 from H");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("R0".into()),
+                Tok::Eq,
+                Tok::Ident("select".into()),
+                Tok::Ident("t".into()),
+                Tok::Ge,
+                Tok::Num(Rat::from_int(4)),
+                Tok::Ident("from".into()),
+                Tok::Ident("H".into()),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = kinds(r#"x = 2.5 y = "hello # not a comment""#);
+        assert!(toks.contains(&Tok::Num(Rat::from_pair(5, 2))));
+        assert!(toks.contains(&Tok::Str("hello # not a comment".into())));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let toks = kinds("# a comment\n\n\nR = join A and B # trailing\n");
+        assert_eq!(toks.iter().filter(|t| matches!(t, Tok::Newline)).count(), 1);
+    }
+
+    #[test]
+    fn newlines_inside_braces_ignored() {
+        let toks = kinds("relation R {\n a: string;\n}\n");
+        let newlines = toks.iter().filter(|t| matches!(t, Tok::Newline)).count();
+        assert_eq!(newlines, 1, "only the final one");
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b < c >= d > e <> f = g")
+                .into_iter()
+                .filter(|t| !matches!(t, Tok::Ident(_) | Tok::Newline | Tok::Eof))
+                .collect::<Vec<_>>(),
+            vec![Tok::Le, Tok::Lt, Tok::Ge, Tok::Gt, Tok::Ne, Tok::Eq]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = lex("ok\n  @bad").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        let err = lex("\"unterminated").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+        let err = lex("1.2.3").unwrap_err();
+        assert!(err.msg.contains("bad number"));
+    }
+}

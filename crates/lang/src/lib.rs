@@ -1,0 +1,46 @@
+//! # cqa-lang — the ASCII surface syntax of CQA/CDB
+//!
+//! §3.3 of the paper shows CQA queries written "using their English
+//! equivalents … This allows queries to be representable in ASCII, for
+//! portability of the system", broken into named steps:
+//!
+//! ```text
+//! R0 = select landID = "A" from Landownership
+//! R1 = project R0 on name, t
+//! R2 = join R0 and Land
+//! ```
+//!
+//! This crate implements that language — lexer, parser, lowering to
+//! [`cqa_core::Plan`]s, and a step-wise [`run::ScriptRunner`] that stores
+//! every intermediate result in the catalog, exactly like the Hurricane
+//! case-study scripts. It also implements the `.cdb` file format for
+//! declaring heterogeneous schemas, constraint tuples, and spatial
+//! (vector-model) relations.
+//!
+//! Statement forms:
+//!
+//! ```text
+//! NAME = select COND, COND, ... from INPUT
+//! NAME = project INPUT on attr, attr, ...
+//! NAME = join INPUT and INPUT
+//! NAME = union INPUT and INPUT
+//! NAME = diff INPUT and INPUT
+//! NAME = rename attr to attr in INPUT
+//! NAME = bufferjoin INPUT and INPUT distance NUMBER
+//! NAME = knearest INPUT and INPUT k INTEGER
+//! NAME = distance INPUT and INPUT          (parses; rejected as unsafe)
+//! ```
+//!
+//! Conditions are linear comparisons (`t >= 4`, `x + 2*y < 3.5`,
+//! `x = y`) or string equalities (`landID = "A"`, `name <> "bob"`).
+
+pub mod ast;
+pub mod db;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod run;
+pub mod schema_def;
+
+pub use lex::LangError;
+pub use run::ScriptRunner;

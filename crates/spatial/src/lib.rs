@@ -1,0 +1,35 @@
+//! # cqa-spatial — geometry, whole-feature operators, and representation
+//! flexibility for CQA/CDB
+//!
+//! This crate implements two sections of the paper:
+//!
+//! **§4 — whole-feature spatial operators.** Spatial data is organized as
+//! *spatial constraint relations*: the feature ID is the only non-spatial
+//! attribute, and the spatial extent is the rest. The operators
+//! [`ops::buffer_join`] and [`ops::k_nearest`] are *whole-feature*
+//! operators: they consume and produce relations keyed by feature IDs, so —
+//! unlike a raw `distance` operator, whose output is not representable with
+//! linear constraints — they are guaranteed **safe** (closed-form).
+//! Distances are compared exactly: all predicates work on *squared*
+//! distances, which are rational whenever the inputs are.
+//!
+//! **§6 — taking constraints out of CDBs.** The same spatial extent can be
+//! represented as constraints (a union of convex polyhedra, one constraint
+//! tuple each) or as vectors (point sequences). [`decompose`] converts
+//! vector features to constraint tuples (ear clipping + Hertel–Mehlhorn
+//! convex merging); [`convert`] converts back (vertex enumeration of convex
+//! constraint cells); and [`convert::project_extent`] implements Example 8
+//! — projection evaluated directly on the vector representation by taking
+//! coordinate extrema.
+
+pub mod convert;
+pub mod decompose;
+pub mod feature;
+pub mod geom;
+pub mod ops;
+pub mod relation;
+pub mod wkt;
+
+pub use feature::{Feature, Geometry};
+pub use geom::{Point, Segment};
+pub use relation::SpatialRelation;

@@ -1,0 +1,303 @@
+//! Whole-feature spatial operators (§4).
+//!
+//! `Buffer-Join` and `k-Nearest` consume spatial constraint relations and
+//! return relations keyed by feature IDs — finite, constraint-free output,
+//! hence always **safe** in the sense of §2.4. Contrast with the raw
+//! `distance` operator: `distance((x₁,y₁), (x₂,y₂)) = d` is not expressible
+//! with linear constraints (it is a quadratic cone), so a query exposing it
+//! as a constraint attribute has no closed-form output; [`min_dist2`] is
+//! therefore offered only as a *scalar* function, and the query layer in
+//! `cqa-core` rejects attempts to use distance as a constraint.
+//!
+//! Evaluation is two-step, following the filter/refine paradigm the paper
+//! cites (\[3\]): bounding-box candidates come from the R\*-tree, and the
+//! refinement compares exact rational squared distances.
+
+use crate::feature::Geometry;
+use crate::relation::SpatialRelation;
+use cqa_index::Rect;
+use cqa_num::Rat;
+
+/// Result rows of a whole-feature operator, keyed by feature ID pairs.
+pub type IdPairs = Vec<(String, String)>;
+
+/// Exact squared distance between two geometries (the scalar `distance`
+/// primitive; see the module docs for why it is not a constraint operator).
+pub fn min_dist2(a: &Geometry, b: &Geometry) -> Rat {
+    a.dist2(b)
+}
+
+/// `Buffer-Join(R₁, R₂, d)`: all pairs of features within distance `d`.
+///
+/// Returns `(id₁, id₂)` pairs ordered by the relations' insertion order,
+/// plus the index accesses spent on the filter step.
+pub fn buffer_join(r1: &SpatialRelation, r2: &SpatialRelation, d: &Rat) -> (IdPairs, u64) {
+    assert!(!d.is_negative(), "buffer distance must be non-negative");
+    let d2 = d * d;
+    let df = d.to_f64() + 1e-9;
+    let mut out = Vec::new();
+    let mut accesses = 0;
+    for f1 in r1.features() {
+        // Filter: expand f1's box by d and probe r2's index.
+        let (lo, hi) = f1.geom.bbox_f64();
+        let probe = Rect::new([lo[0] - df, lo[1] - df], [hi[0] + df, hi[1] + df]);
+        let (cands, acc) = r2.candidates(&probe);
+        accesses += acc;
+        let mut cands = cands;
+        cands.sort_unstable();
+        for idx in cands {
+            let f2 = r2.get(idx);
+            // Refine: exact rational squared distance.
+            if f1.geom.dist2(&f2.geom) <= d2 {
+                out.push((f1.id.clone(), f2.id.clone()));
+            }
+        }
+    }
+    (out, accesses)
+}
+
+/// `k-Nearest(R₁, R₂, k)`: for each feature of `R₁`, its `k` nearest
+/// features of `R₂` (exact squared-distance order; ties broken by id).
+///
+/// When `R₂` has fewer than `k` features, all of them are returned.
+pub fn k_nearest(r1: &SpatialRelation, r2: &SpatialRelation, k: usize) -> IdPairs {
+    let mut out = Vec::new();
+    for f1 in r1.features() {
+        let mut dists: Vec<(Rat, &str)> = r2
+            .features()
+            .iter()
+            .map(|f2| (f1.geom.dist2(&f2.geom), f2.id.as_str()))
+            .collect();
+        dists.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+        for (_, id2) in dists.into_iter().take(k) {
+            out.push((f1.id.clone(), id2.to_string()));
+        }
+    }
+    out
+}
+
+/// Index-accelerated `k-Nearest`: expands a search radius geometrically
+/// through the R\*-tree filter until at least `k` candidates are *provably*
+/// within it, then refines exactly. Returns the same pairs as
+/// [`k_nearest`] (which the tests assert).
+pub fn k_nearest_indexed(r1: &SpatialRelation, r2: &SpatialRelation, k: usize) -> IdPairs {
+    if r2.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f1 in r1.features() {
+        let (lo, hi) = f1.geom.bbox_f64();
+        // Initial radius: a guess from the world size and density.
+        let world = r2
+            .features()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, f| {
+                let (l, h) = f.geom.bbox_f64();
+                (acc.0.min(l[0]), acc.1.max(h[0]))
+            });
+        let mut radius = ((world.1 - world.0).abs() / (r2.len() as f64).sqrt()).max(1.0);
+        let candidates = loop {
+            let probe = Rect::new(
+                [lo[0] - radius, lo[1] - radius],
+                [hi[0] + radius, hi[1] + radius],
+            );
+            let (cands, _) = r2.candidates(&probe);
+            // Box distance lower-bounds true distance, so once k candidates
+            // have *exact* distance ≤ radius, nothing outside the probe can
+            // beat them.
+            if cands.len() >= k.min(r2.len()) {
+                let radius2 = Rat::from_decimal_str(&format!("{:.6}", radius))
+                    .unwrap_or_else(|_| Rat::from_int(radius as i64 + 1));
+                let r2rat = &radius2 * &radius2;
+                let close_enough = cands
+                    .iter()
+                    .filter(|&&i| f1.geom.dist2(&r2.get(i).geom) <= r2rat)
+                    .count();
+                if close_enough >= k.min(r2.len()) || cands.len() == r2.len() {
+                    break cands;
+                }
+            }
+            radius *= 2.0;
+        };
+        let mut dists: Vec<(Rat, &str)> = candidates
+            .into_iter()
+            .map(|i| {
+                let f2 = r2.get(i);
+                (f1.geom.dist2(&f2.geom), f2.id.as_str())
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+        for (_, id2) in dists.into_iter().take(k) {
+            out.push((f1.id.clone(), id2.to_string()));
+        }
+    }
+    out
+}
+
+/// A `Within-Distance` selection: features of `r` within distance `d` of a
+/// probe geometry (a one-sided buffer join; used by the examples).
+pub fn within_distance<'a>(
+    r: &'a SpatialRelation,
+    probe: &Geometry,
+    d: &Rat,
+) -> Vec<&'a str> {
+    let d2 = d * d;
+    r.features()
+        .iter()
+        .filter(|f| f.geom.dist2(probe) <= d2)
+        .map(|f| f.id.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use crate::geom::Point;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+    fn pt(id: &str, x: i64, y: i64) -> Feature {
+        Feature::new(id, Geometry::Point(p(x, y)))
+    }
+
+    fn cities() -> SpatialRelation {
+        SpatialRelation::from_features([
+            pt("c0", 0, 0),
+            pt("c1", 5, 0),
+            pt("c2", 0, 5),
+            pt("c3", 10, 10),
+        ])
+    }
+
+    fn roads() -> SpatialRelation {
+        SpatialRelation::from_features([
+            Feature::new("r0", Geometry::polyline(vec![p(0, 1), p(10, 1)]).unwrap()),
+            Feature::new("r1", Geometry::polyline(vec![p(-5, 20), p(15, 20)]).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn buffer_join_basic() {
+        let (pairs, _) = buffer_join(&roads(), &cities(), &Rat::from_int(2));
+        // r0 (y=1) is within 2 of c0 (0,0), c1 (5,0); not c2 (0,5) or c3.
+        assert!(pairs.contains(&("r0".into(), "c0".into())));
+        assert!(pairs.contains(&("r0".into(), "c1".into())));
+        assert!(!pairs.iter().any(|(a, b)| a == "r0" && b == "c2"));
+        assert!(!pairs.iter().any(|(a, _)| a == "r1"));
+    }
+
+    #[test]
+    fn buffer_join_boundary_is_inclusive() {
+        // Distance exactly d must qualify (≤, not <) — and exactly, not
+        // approximately: c2 is at distance exactly 4 from r0.
+        let (pairs, _) = buffer_join(&roads(), &cities(), &Rat::from_int(4));
+        assert!(pairs.contains(&("r0".into(), "c2".into())));
+        let (pairs, _) = buffer_join(
+            &roads(),
+            &cities(),
+            &(Rat::from_int(4) - Rat::from_pair(1, 1_000_000)),
+        );
+        assert!(!pairs.contains(&("r0".into(), "c2".into())));
+    }
+
+    #[test]
+    fn buffer_join_agrees_with_exhaustive(){
+        let r1 = roads();
+        let r2 = cities();
+        let d = Rat::from_int(3);
+        let (pairs, _) = buffer_join(&r1, &r2, &d);
+        let mut want = Vec::new();
+        for f1 in r1.features() {
+            for f2 in r2.features() {
+                if f1.geom.dist2(&f2.geom) <= &d * &d {
+                    want.push((f1.id.clone(), f2.id.clone()));
+                }
+            }
+        }
+        let mut got = pairs;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_distance_buffer_is_intersection() {
+        let squares = SpatialRelation::from_features([Feature::new(
+            "s",
+            Geometry::polygon(vec![p(0, 0), p(4, 0), p(4, 4), p(0, 4)]).unwrap(),
+        )]);
+        let probes = SpatialRelation::from_features([pt("inside", 2, 2), pt("outside", 9, 9)]);
+        let (pairs, _) = buffer_join(&squares, &probes, &Rat::zero());
+        assert_eq!(pairs, vec![("s".to_string(), "inside".to_string())]);
+    }
+
+    #[test]
+    fn k_nearest_ordering_and_ties() {
+        let probes = SpatialRelation::from_features([pt("q", 0, 0)]);
+        let targets = SpatialRelation::from_features([
+            pt("far", 10, 0),
+            pt("near", 1, 0),
+            pt("tie_a", 3, 4),  // dist2 = 25
+            pt("tie_b", -3, 4), // dist2 = 25 — tie broken by id
+        ]);
+        let pairs = k_nearest(&probes, &targets, 3);
+        assert_eq!(
+            pairs,
+            vec![
+                ("q".to_string(), "near".to_string()),
+                ("q".to_string(), "tie_a".to_string()),
+                ("q".to_string(), "tie_b".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn k_nearest_k_larger_than_relation() {
+        let probes = SpatialRelation::from_features([pt("q", 0, 0)]);
+        let targets = SpatialRelation::from_features([pt("a", 1, 0), pt("b", 2, 0)]);
+        assert_eq!(k_nearest(&probes, &targets, 10).len(), 2);
+    }
+
+    #[test]
+    fn indexed_k_nearest_matches_exact() {
+        // A spread of points with clusters and ties.
+        let mut feats = Vec::new();
+        for i in 0..60i64 {
+            feats.push(pt(&format!("t{:02}", i), (i * 7) % 83, (i * 13) % 59));
+        }
+        let targets = SpatialRelation::from_features(feats);
+        let probes = SpatialRelation::from_features([
+            pt("a", 0, 0),
+            pt("b", 40, 30),
+            pt("c", 83, 59),
+        ]);
+        for k in [1usize, 3, 7, 60, 100] {
+            let exact = k_nearest(&probes, &targets, k);
+            let indexed = k_nearest_indexed(&probes, &targets, k);
+            assert_eq!(exact, indexed, "k = {}", k);
+        }
+        assert!(k_nearest_indexed(&probes, &targets, 0).is_empty());
+        let empty = SpatialRelation::new();
+        assert!(k_nearest_indexed(&probes, &empty, 3).is_empty());
+    }
+
+    #[test]
+    fn within_distance_selection() {
+        let rel = cities();
+        let probe = Geometry::Point(p(0, 0));
+        let ids = within_distance(&rel, &probe, &Rat::from_int(5));
+        assert_eq!(ids, vec!["c0", "c1", "c2"]);
+    }
+
+    #[test]
+    fn whole_feature_output_is_finite_and_constraint_free() {
+        // The §4 safety argument in executable form: the result of a
+        // whole-feature operator is a plain finite list of id pairs — a
+        // traditional relation — regardless of the inputs' infinite
+        // semantics.
+        let (pairs, _) = buffer_join(&roads(), &cities(), &Rat::from_int(100));
+        assert_eq!(pairs.len(), roads().len() * cities().len());
+    }
+}

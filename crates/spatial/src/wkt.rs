@@ -1,0 +1,225 @@
+//! Well-Known-Text interchange for vector geometries.
+//!
+//! §6.2 observes that GIS data "is normally obtained by digitization" and
+//! that constraint systems pay "costly conversions in each direction" to
+//! talk to the outside world. This module is that direction pair for the
+//! vector model: [`to_wkt`] / [`parse_wkt`] handle the `POINT`,
+//! `LINESTRING`, and single-ring `POLYGON` forms (holes are out of scope —
+//! the data model's polygons are simple rings).
+//!
+//! Coordinates are exact rationals. Export prints an exact decimal when
+//! the expansion terminates within 12 fraction digits and truncates
+//! otherwise (flagged by [`to_wkt_checked`]); import parses decimal
+//! literals exactly.
+
+use crate::feature::{Geometry, GeometryError};
+use crate::geom::Point;
+use cqa_num::Rat;
+use std::fmt;
+
+/// Maximum fraction digits printed before export truncates.
+const MAX_FRAC_DIGITS: usize = 12;
+
+/// WKT parse/print failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WktError {
+    /// Input does not follow the grammar.
+    Syntax(String),
+    /// The coordinates parse but form an invalid geometry.
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for WktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WktError::Syntax(what) => write!(f, "WKT syntax error: {}", what),
+            WktError::Geometry(e) => write!(f, "invalid WKT geometry: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Serializes a geometry to WKT. Coordinates that do not terminate within
+/// 12 decimal digits are truncated; use [`to_wkt_checked`] to detect that.
+pub fn to_wkt(geom: &Geometry) -> String {
+    to_wkt_checked(geom).0
+}
+
+/// Serializes to WKT, also reporting whether every coordinate rendered
+/// exactly.
+pub fn to_wkt_checked(geom: &Geometry) -> (String, bool) {
+    let mut exact = true;
+    let mut coord = |p: &Point| -> String {
+        let (x, xe) = p.x.to_decimal(MAX_FRAC_DIGITS);
+        let (y, ye) = p.y.to_decimal(MAX_FRAC_DIGITS);
+        exact &= xe && ye;
+        format!("{} {}", x, y)
+    };
+    let text = match geom {
+        Geometry::Point(p) => format!("POINT ({})", coord(p)),
+        Geometry::Polyline(pts) => {
+            let coords: Vec<String> = pts.iter().map(&mut coord).collect();
+            format!("LINESTRING ({})", coords.join(", "))
+        }
+        Geometry::Polygon(ring) => {
+            // WKT rings repeat the first vertex at the end.
+            let mut coords: Vec<String> = ring.iter().map(&mut coord).collect();
+            coords.push(coords[0].clone());
+            format!("POLYGON (({}))", coords.join(", "))
+        }
+    };
+    (text, exact)
+}
+
+/// Parses a WKT `POINT`, `LINESTRING`, or single-ring `POLYGON`.
+pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
+    let s = input.trim();
+    let (head, rest) = s
+        .find('(')
+        .map(|i| (s[..i].trim().to_ascii_uppercase(), &s[i..]))
+        .ok_or_else(|| WktError::Syntax("missing coordinate list".to_string()))?;
+    match head.as_str() {
+        "POINT" => {
+            let pts = parse_coord_list(strip_parens(rest)?)?;
+            match pts.as_slice() {
+                [p] => Ok(Geometry::Point(p.clone())),
+                _ => Err(WktError::Syntax("POINT takes exactly one coordinate".to_string())),
+            }
+        }
+        "LINESTRING" => {
+            let pts = parse_coord_list(strip_parens(rest)?)?;
+            Geometry::polyline(pts).map_err(WktError::Geometry)
+        }
+        "POLYGON" => {
+            let inner = strip_parens(rest)?.trim();
+            let ring_text = strip_parens(inner)?;
+            if ring_text.contains('(') || inner[1..].contains('(') {
+                return Err(WktError::Syntax(
+                    "POLYGON with holes or multiple rings is not supported".to_string(),
+                ));
+            }
+            let mut pts = parse_coord_list(ring_text)?;
+            // Drop the repeated closing vertex if present.
+            if pts.len() >= 2 && pts.first() == pts.last() {
+                pts.pop();
+            }
+            Geometry::polygon(pts).map_err(WktError::Geometry)
+        }
+        other => Err(WktError::Syntax(format!("unknown geometry type {:?}", other))),
+    }
+}
+
+/// Removes one balanced layer of parentheses.
+fn strip_parens(s: &str) -> Result<&str, WktError> {
+    let s = s.trim();
+    if !s.starts_with('(') || !s.ends_with(')') {
+        return Err(WktError::Syntax(format!("expected parenthesized list, got {:?}", s)));
+    }
+    Ok(&s[1..s.len() - 1])
+}
+
+fn parse_coord_list(s: &str) -> Result<Vec<Point>, WktError> {
+    s.split(',')
+        .map(|pair| {
+            let mut nums = pair.split_whitespace();
+            let x = parse_num(nums.next().ok_or_else(|| miss(pair))?)?;
+            let y = parse_num(nums.next().ok_or_else(|| miss(pair))?)?;
+            if nums.next().is_some() {
+                return Err(WktError::Syntax(format!(
+                    "only 2-D coordinates are supported, got {:?}",
+                    pair.trim()
+                )));
+            }
+            Ok(Point::new(x, y))
+        })
+        .collect()
+}
+
+fn miss(pair: &str) -> WktError {
+    WktError::Syntax(format!("coordinate pair {:?} needs two numbers", pair.trim()))
+}
+
+fn parse_num(tok: &str) -> Result<Rat, WktError> {
+    let (sign, body) = match tok.strip_prefix('-') {
+        Some(b) => (-1i64, b),
+        None => (1, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    Rat::from_decimal_str(body)
+        .map(|r| if sign < 0 { -r } else { r })
+        .map_err(|_| WktError::Syntax(format!("bad number {:?}", tok)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let geoms = vec![
+            Geometry::Point(Point::new(Rat::from_pair(5, 2), Rat::from_int(-3))),
+            Geometry::polyline(vec![p(0, 0), p(10, 5), p(20, 5)]).unwrap(),
+            Geometry::polygon(vec![p(0, 0), p(4, 0), p(4, 4), p(0, 4)]).unwrap(),
+        ];
+        for g in geoms {
+            let (text, exact) = to_wkt_checked(&g);
+            assert!(exact, "{}", text);
+            let back = parse_wkt(&text).unwrap();
+            assert_eq!(back, g, "via {}", text);
+        }
+    }
+
+    #[test]
+    fn export_format() {
+        let g = Geometry::Point(Point::new(Rat::from_pair(5, 2), Rat::from_int(7)));
+        assert_eq!(to_wkt(&g), "POINT (2.5 7)");
+        let line = Geometry::polyline(vec![p(0, 0), p(1, 2)]).unwrap();
+        assert_eq!(to_wkt(&line), "LINESTRING (0 0, 1 2)");
+        let square = Geometry::polygon(vec![p(0, 0), p(2, 0), p(2, 2), p(0, 2)]).unwrap();
+        assert_eq!(to_wkt(&square), "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+    }
+
+    #[test]
+    fn inexact_coordinates_flagged() {
+        let g = Geometry::Point(Point::new(Rat::from_pair(1, 3), Rat::from_int(0)));
+        let (text, exact) = to_wkt_checked(&g);
+        assert!(!exact);
+        assert!(text.starts_with("POINT (0.333333333333 "), "{}", text);
+    }
+
+    #[test]
+    fn parse_flexible_whitespace_and_case() {
+        let g = parse_wkt("  point( 1.5   -2.25 ) ").unwrap();
+        assert_eq!(
+            g,
+            Geometry::Point(Point::new(Rat::from_pair(3, 2), Rat::from_pair(-9, 4)))
+        );
+        let g = parse_wkt("Polygon((0 0,4 0,4 4,0 4,0 0))").unwrap();
+        assert!(matches!(g, Geometry::Polygon(ref r) if r.len() == 4));
+        // Unclosed ring is accepted too (closing vertex optional).
+        let g = parse_wkt("POLYGON ((0 0, 4 0, 4 4))").unwrap();
+        assert!(matches!(g, Geometry::Polygon(ref r) if r.len() == 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse_wkt("BLOB (1 2)"), Err(WktError::Syntax(_))));
+        assert!(matches!(parse_wkt("POINT 1 2"), Err(WktError::Syntax(_))));
+        assert!(matches!(parse_wkt("POINT (1 2, 3 4)"), Err(WktError::Syntax(_))));
+        assert!(matches!(parse_wkt("POINT (1 2 3)"), Err(WktError::Syntax(_))));
+        assert!(matches!(parse_wkt("LINESTRING (1 2)"), Err(WktError::Geometry(_))));
+        assert!(matches!(
+            parse_wkt("POLYGON ((0 0, 1 1, 2 2, 0 0))"),
+            Err(WktError::Geometry(_))
+        ));
+        assert!(matches!(
+            parse_wkt("POLYGON ((0 0, 4 0, 4 4), (1 1, 2 1, 2 2))"),
+            Err(WktError::Syntax(_))
+        ));
+        assert!(matches!(parse_wkt("POINT (a b)"), Err(WktError::Syntax(_))));
+    }
+}

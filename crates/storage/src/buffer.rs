@@ -1,0 +1,213 @@
+//! A buffer pool with LRU replacement and disk-access accounting.
+//!
+//! The §5.4 experiments report "number of disk accesses"; in this system
+//! that figure is read off [`AccessStats`]. Every page fetch counts one
+//! *logical* access; a fetch that misses the pool and must go to the disk
+//! manager counts one *physical* access. Running an experiment with a cold
+//! (or deliberately tiny) pool makes logical ≈ physical, which is the
+//! configuration the paper's experiments correspond to.
+
+use crate::disk::DiskManager;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Counters of buffer-pool traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Page fetches requested (one per page touched by an operation).
+    pub logical: u64,
+    /// Fetches that had to read from the disk manager.
+    pub physical: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    id: PageId,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A fixed-capacity page cache over a [`DiskManager`].
+pub struct BufferPool<D: DiskManager> {
+    disk: D,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    capacity: usize,
+    clock: u64,
+    stats: AccessStats,
+}
+
+impl<D: DiskManager> BufferPool<D> {
+    /// Creates a pool caching at most `capacity` pages.
+    pub fn new(disk: D, capacity: usize) -> BufferPool<D> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Allocates a fresh page on the underlying disk.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        self.disk.allocate()
+    }
+
+    /// Number of pages on the underlying disk.
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages()
+    }
+
+    /// Runs `f` with read access to the page.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.fetch(id)?;
+        Ok(f(&self.frames[idx].data[..]))
+    }
+
+    /// Runs `f` with write access to the page, marking it dirty.
+    pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let idx = self.fetch(id)?;
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].data[..]))
+    }
+
+    /// Writes all dirty pages back to the disk manager.
+    pub fn flush(&mut self) -> Result<()> {
+        for frame in &mut self.frames {
+            if frame.dirty {
+                self.disk.write(frame.id, &frame.data[..])?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts everything (flushing dirty pages), leaving the cache cold.
+    pub fn clear(&mut self) -> Result<()> {
+        self.flush()?;
+        self.frames.clear();
+        self.map.clear();
+        Ok(())
+    }
+
+    fn fetch(&mut self, id: PageId) -> Result<usize> {
+        self.clock += 1;
+        self.stats.logical += 1;
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].last_used = self.clock;
+            return Ok(idx);
+        }
+        self.stats.physical += 1;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.disk.read(id, &mut data[..])?;
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame { id, data, dirty: false, last_used: self.clock });
+            self.frames.len() - 1
+        } else {
+            // Evict the least recently used frame.
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            let old = &mut self.frames[victim];
+            if old.dirty {
+                self.disk.write(old.id, &old.data[..])?;
+                self.stats.writebacks += 1;
+            }
+            self.map.remove(&old.id);
+            *old = Frame { id, data, dirty: false, last_used: self.clock };
+            victim
+        };
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Consumes the pool, flushing and returning the disk manager.
+    pub fn into_disk(mut self) -> Result<D> {
+        self.flush()?;
+        Ok(self.disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    #[test]
+    fn caches_hot_pages() {
+        let mut pool = BufferPool::new(MemDisk::new(), 2);
+        let a = pool.allocate().unwrap();
+        pool.with_page(a, |_| ()).unwrap();
+        pool.with_page(a, |_| ()).unwrap();
+        pool.with_page(a, |_| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.logical, 3);
+        assert_eq!(s.physical, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut pool = BufferPool::new(MemDisk::new(), 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        let c = pool.allocate().unwrap();
+        pool.with_page(a, |_| ()).unwrap(); // a
+        pool.with_page(b, |_| ()).unwrap(); // a b
+        pool.with_page(a, |_| ()).unwrap(); // b a (a hot)
+        pool.with_page(c, |_| ()).unwrap(); // evicts b
+        pool.with_page(a, |_| ()).unwrap(); // hit
+        assert_eq!(pool.stats().physical, 3);
+        pool.with_page(b, |_| ()).unwrap(); // miss again
+        assert_eq!(pool.stats().physical, 4);
+    }
+
+    #[test]
+    fn writes_survive_eviction_and_flush() {
+        let mut pool = BufferPool::new(MemDisk::new(), 1);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.with_page_mut(a, |p| p[0] = 42).unwrap();
+        pool.with_page(b, |_| ()).unwrap(); // evicts dirty a
+        let v = pool.with_page(a, |p| p[0]).unwrap();
+        assert_eq!(v, 42);
+        assert!(pool.stats().writebacks >= 1);
+        pool.with_page_mut(a, |p| p[1] = 7).unwrap();
+        let mut disk = pool.into_disk().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read(a, &mut buf).unwrap();
+        assert_eq!((buf[0], buf[1]), (42, 7));
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let mut pool = BufferPool::new(MemDisk::new(), 4);
+        let a = pool.allocate().unwrap();
+        pool.with_page(a, |_| ()).unwrap();
+        pool.reset_stats();
+        assert_eq!(pool.stats(), AccessStats::default());
+        pool.clear().unwrap();
+        pool.with_page(a, |_| ()).unwrap();
+        assert_eq!(pool.stats().physical, 1, "cold after clear");
+    }
+}

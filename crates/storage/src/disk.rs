@@ -1,0 +1,165 @@
+//! Disk managers: page-granular persistent storage.
+
+use crate::page::{PageId, PAGE_SIZE};
+use crate::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page-granular storage. Implementations must hand back exactly the bytes
+/// last written to each allocated page.
+pub trait DiskManager {
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&mut self) -> Result<PageId>;
+
+    /// Reads page `id` into `buf` (which must be `PAGE_SIZE` bytes).
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` (which must be `PAGE_SIZE` bytes) to page `id`.
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+}
+
+/// An in-memory disk: the default substrate for experiments, where "disk
+/// accesses" are counted logically by the buffer pool rather than performed.
+#[derive(Default)]
+pub struct MemDisk {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemDisk {
+    /// An empty in-memory disk.
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn allocate(&mut self) -> Result<PageId> {
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok(PageId(self.pages.len() as u64 - 1))
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let page = self.pages.get(id.0 as usize).ok_or(StorageError::BadPage(id))?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        let page = self.pages.get_mut(id.0 as usize).ok_or(StorageError::BadPage(id))?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+}
+
+/// A file-backed disk; page `i` lives at byte offset `i * PAGE_SIZE`.
+pub struct FileDisk {
+    file: File,
+    pages: u64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) the file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileDisk> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt("file length not page aligned"));
+        }
+        Ok(FileDisk { file, pages: len / PAGE_SIZE as u64 })
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn allocate(&mut self) -> Result<PageId> {
+        let id = PageId(self.pages);
+        self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        self.pages += 1;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if id.0 >= self.pages {
+            return Err(StorageError::BadPage(id));
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        if id.0 >= self.pages {
+            return Err(StorageError::BadPage(id));
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &mut dyn DiskManager) {
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "fresh pages are zeroed");
+
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        disk.write(a, &buf).unwrap();
+
+        let mut back = [0u8; PAGE_SIZE];
+        disk.read(a, &mut back).unwrap();
+        assert_eq!(buf, back);
+        disk.read(b, &mut back).unwrap();
+        assert!(back.iter().all(|&x| x == 0), "other pages untouched");
+
+        assert!(disk.read(PageId(99), &mut back).is_err());
+        assert!(disk.write(PageId(99), &buf).is_err());
+    }
+
+    #[test]
+    fn mem_disk_roundtrip() {
+        exercise(&mut MemDisk::new());
+    }
+
+    #[test]
+    fn file_disk_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("cqa_disk_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let mut disk = FileDisk::open(&path).unwrap();
+            exercise(&mut disk);
+        }
+        {
+            // Reopen: data persists.
+            let mut disk = FileDisk::open(&path).unwrap();
+            assert_eq!(disk.num_pages(), 2);
+            let mut buf = [0u8; PAGE_SIZE];
+            disk.read(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf[0], 0xAB);
+            assert_eq!(buf[PAGE_SIZE - 1], 0xCD);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

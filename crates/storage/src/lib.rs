@@ -1,0 +1,74 @@
+//! # cqa-storage — the disk-access layer of CQA/CDB
+//!
+//! Figure 1 of the paper places the Constraint Query Algebra "above the
+//! disk access layer"; this crate is that layer. It provides:
+//!
+//! * [`Page`](page::SlottedPage)-granular storage behind the [`DiskManager`]
+//!   trait, with a file-backed implementation ([`FileDisk`]) and an
+//!   in-memory one ([`MemDisk`]) for experiments;
+//! * a [`BufferPool`] with LRU replacement and **access accounting** —
+//!   the "number of disk accesses" metric of the §5.4 experiments is read
+//!   off the pool's [`AccessStats`];
+//! * [`HeapFile`]s of variable-length records over slotted pages, the
+//!   on-disk representation of constraint relations;
+//! * a small binary [`codec`] for framing values into records.
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+pub use buffer::{AccessStats, BufferPool};
+pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use heap::{HeapFile, Rid};
+pub use page::{PageId, SlottedPage, PAGE_SIZE};
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page id outside the allocated range.
+    BadPage(PageId),
+    /// A record id whose page/slot does not exist.
+    BadRid(heap::Rid),
+    /// A record too large to fit a page.
+    RecordTooLarge(usize),
+    /// Malformed bytes during decoding.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {}", e),
+            StorageError::BadPage(p) => write!(f, "page {} out of range", p.0),
+            StorageError::BadRid(r) => write!(f, "record {:?} does not exist", r),
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {} bytes exceeds page capacity", n)
+            }
+            StorageError::Corrupt(what) => write!(f, "corrupt data: {}", what),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;

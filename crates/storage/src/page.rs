@@ -1,0 +1,219 @@
+//! Fixed-size pages with a slotted record layout.
+//!
+//! Layout of a slotted page (offsets in bytes):
+//!
+//! ```text
+//! 0..2    number of slots (u16)
+//! 2..4    offset of the start of the record area (u16, grows downward)
+//! 4..     slot directory: per slot, record offset (u16) and length (u16);
+//!         a slot with offset 0 is a tombstone (page offsets < 4 are
+//!         impossible for live records)
+//! ...     free space
+//! ...     records, packed against the end of the page
+//! ```
+
+use crate::{Result, StorageError};
+
+/// Size of every page in bytes. Chosen to match a common filesystem block.
+pub const PAGE_SIZE: usize = 4096;
+
+const HDR: usize = 4;
+const SLOT: usize = 4;
+
+/// Identifier of a page within a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+/// A view over a page's bytes interpreting the slotted layout.
+pub struct SlottedPage<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wraps page bytes. The caller must have initialized the page with
+    /// [`SlottedPage::init`] at some point (all-zeros is a valid empty page
+    /// except for the record-area pointer, which `init` sets).
+    pub fn new(data: &'a mut [u8]) -> SlottedPage<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPage { data }
+    }
+
+    /// Formats the page as empty.
+    pub fn init(data: &mut [u8]) {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        data[0..2].copy_from_slice(&0u16.to_le_bytes());
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (live and tombstoned).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn record_start(&self) -> usize {
+        let v = self.read_u16(2) as usize;
+        if v == 0 {
+            PAGE_SIZE // uninitialized all-zeros page behaves as empty
+        } else {
+            v
+        }
+    }
+
+    /// Free bytes available for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HDR + self.slot_count() * SLOT;
+        self.record_start().saturating_sub(dir_end)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT
+    }
+
+    /// The largest record insertable into an empty page.
+    pub const fn max_record() -> usize {
+        PAGE_SIZE - HDR - SLOT
+    }
+
+    /// Inserts a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> Result<u16> {
+        if record.len() > Self::max_record() {
+            return Err(StorageError::RecordTooLarge(record.len()));
+        }
+        if !self.fits(record.len()) {
+            return Err(StorageError::Corrupt("insert into full page"));
+        }
+        let slot = self.slot_count();
+        let new_start = self.record_start() - record.len();
+        self.data[new_start..new_start + record.len()].copy_from_slice(record);
+        self.write_u16(2, new_start as u16);
+        let dir = HDR + slot * SLOT;
+        self.write_u16(dir, new_start as u16);
+        self.write_u16(dir + 2, record.len() as u16);
+        self.write_u16(0, (slot + 1) as u16);
+        Ok(slot as u16)
+    }
+
+    /// Reads the record in `slot`, or `None` if the slot is a tombstone or
+    /// out of range.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot as usize >= self.slot_count() {
+            return None;
+        }
+        let dir = HDR + slot as usize * SLOT;
+        let off = self.read_u16(dir) as usize;
+        if off == 0 {
+            return None;
+        }
+        let len = self.read_u16(dir + 2) as usize;
+        Some(&self.data[off..off + len])
+    }
+
+    /// Tombstones the record in `slot`. The space is not reclaimed (classic
+    /// lazy deletion; compaction would go here in a full system).
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot as usize >= self.slot_count() {
+            return false;
+        }
+        let dir = HDR + slot as usize * SLOT;
+        if self.read_u16(dir) == 0 {
+            return false;
+        }
+        self.write_u16(dir, 0);
+        self.write_u16(dir + 2, 0);
+        true
+    }
+
+    /// Iterates over `(slot, record)` pairs of live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.slot_count() as u16).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_page() -> Vec<u8> {
+        let mut data = vec![0u8; PAGE_SIZE];
+        SlottedPage::init(&mut data);
+        data
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.get(99), None);
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let s = p.insert(b"gone").unwrap();
+        assert!(p.delete(s));
+        assert_eq!(p.get(s), None);
+        assert!(!p.delete(s)); // double delete is a no-op
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn fills_up_exactly() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let rec = vec![7u8; 100];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        // 4096 - 4 header = 4092; each record costs 104 → 39 records.
+        assert_eq!(n, (PAGE_SIZE - HDR) / (rec.len() + SLOT));
+        assert!(p.insert(&rec).is_err());
+        // All still readable.
+        assert_eq!(p.iter().count(), n);
+        assert!(p.iter().all(|(_, r)| r == &rec[..]));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let too_big = vec![0u8; SlottedPage::max_record() + 1];
+        assert!(matches!(p.insert(&too_big), Err(StorageError::RecordTooLarge(_))));
+        let just_fits = vec![1u8; SlottedPage::max_record()];
+        let s = p.insert(&just_fits).unwrap();
+        assert_eq!(p.get(s).unwrap().len(), SlottedPage::max_record());
+    }
+
+    #[test]
+    fn zeroed_page_is_valid_empty() {
+        let mut data = vec![0u8; PAGE_SIZE];
+        let p = SlottedPage::new(&mut data);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.iter().count(), 0);
+        assert!(p.fits(100));
+    }
+
+    #[test]
+    fn empty_record_ok() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Indefinite information (§3.1): constraints read disjunctively.
+//!
+//! The same syntax — a conjunction of constraints per tuple — carries two
+//! different semantics in the paper:
+//!
+//! * conjunctive (constraint tuples): *all* satisfying points belong to
+//!   the relation (a land parcel occupies its whole extent);
+//! * disjunctive (indefinite information): *one* satisfying point is the
+//!   true value, we just don't know which (a meeting starts at some time
+//!   in a window).
+//!
+//! Run with: `cargo run -p cqa --example indefinite`
+
+use cqa::core::indefinite::IndefiniteRelation;
+use cqa::core::plan::{CmpOp, Selection};
+use cqa::core::{AttrDef, HRelation, Schema, Value};
+use cqa::num::Rat;
+
+fn main() {
+    let schema = Schema::new(vec![
+        AttrDef::str_rel("flight"),
+        AttrDef::rat_con("arrival"), // hour of day, under-specified
+    ])
+    .unwrap();
+    let mut rel = HRelation::new(schema);
+    rel.insert_with(|b| b.set("flight", "CQ101").pin("arrival", Rat::from_int(14)))
+        .unwrap(); // lands at exactly 14:00
+    rel.insert_with(|b| b.set("flight", "CQ202").range("arrival", 15, 17))
+        .unwrap(); // "between 15:00 and 17:00"
+    rel.insert_with(|b| b.set("flight", "CQ303").range("arrival", 16, 22))
+        .unwrap(); // "evening, could be late"
+
+    let flights = IndefiniteRelation::new(rel);
+    println!("Flight arrivals with indefinite times:");
+    print!("{}", flights.as_definite());
+
+    let before_18 = Selection::all().cmp_int("arrival", CmpOp::Le, 18);
+    let possible = flights.possible_select(&before_18).unwrap();
+    let certain = flights.certain_select(&before_18).unwrap();
+
+    println!("\nWho *possibly* arrives by 18:00?  (some candidate time qualifies)");
+    print!("{}", possible.as_definite());
+    println!("Who *certainly* arrives by 18:00?  (every candidate time qualifies)");
+    print!("{}", certain.as_definite());
+
+    assert_eq!(possible.len(), 3, "CQ303 might land at 16");
+    assert_eq!(certain.len(), 2, "CQ303 might also land at 22");
+
+    // Point membership under both readings.
+    let p = [Value::str("CQ202"), Value::int(16)];
+    println!(
+        "\nCQ202 at 16:00 — possible: {}, certain: {}",
+        flights.possibly_contains(&p).unwrap(),
+        flights.certainly_contains(&p).unwrap(),
+    );
+    let q = [Value::str("CQ101"), Value::int(14)];
+    println!(
+        "CQ101 at 14:00 — possible: {}, certain: {}",
+        flights.possibly_contains(&q).unwrap(),
+        flights.certainly_contains(&q).unwrap(),
+    );
+}

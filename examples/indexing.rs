@@ -1,0 +1,52 @@
+//! Multi-attribute indexing (§5): joint vs separate R*-trees, and the
+//! index advisor for the paper's open problem.
+//!
+//! Run with: `cargo run -p cqa --example indexing`
+
+use cqa::index::advisor::{Advisor, QueryProfile};
+use cqa::index::strategy::{BoxQuery, IndexStrategy, JointIndex, SeparateIndices};
+use cqa::index::RStarParams;
+
+fn main() {
+    // Index 2,000 rectangles under both strategies.
+    let mut joint = JointIndex::new(RStarParams::fitting_page(2), (0.0, 1000.0));
+    let mut separate = SeparateIndices::new(RStarParams::fitting_page(1));
+    let mut state = 2003u64;
+    let mut rnd = move |max: f64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (u32::MAX as f64 / 2.0) * max
+    };
+    for i in 0..2000u64 {
+        let (x, y) = (rnd(950.0), rnd(950.0));
+        let (w, h) = (rnd(40.0) + 1.0, rnd(40.0) + 1.0);
+        joint.insert((x, x + w), (y, y + h), i);
+        separate.insert((x, x + w), (y, y + h), i);
+    }
+
+    // A two-attribute query: the paper's Figure 4 situation.
+    let q2 = BoxQuery::both((100.0, 220.0), (400.0, 520.0));
+    let (a, b) = (joint.query(&q2), separate.query(&q2));
+    assert_eq!(a.ids, b.ids);
+    println!("two-attribute query: {} matches", a.ids.len());
+    println!("  joint index:      {:>4} disk accesses", a.accesses);
+    println!("  separate indices: {:>4} disk accesses (sum of two subqueries)", b.accesses);
+
+    // A one-attribute query: the Figure 5 situation.
+    let q1 = BoxQuery::x_only((100.0, 220.0));
+    let (a, b) = (joint.query(&q1), separate.query(&q1));
+    assert_eq!(a.ids, b.ids);
+    println!("one-attribute query: {} matches", a.ids.len());
+    println!("  joint index:      {:>4} disk accesses (other attribute min..max)", a.accesses);
+    println!("  separate indices: {:>4} disk accesses", b.accesses);
+
+    // The open problem (§5.4): which attribute subsets should share an
+    // index? Ask the advisor for two contrasting workloads.
+    let advisor = Advisor::new(2, 2000);
+    let conjunctive: Vec<QueryProfile> =
+        (0..20).map(|_| QueryProfile::new(2, [(0, 0.1), (1, 0.1)])).collect();
+    let single: Vec<QueryProfile> = (0..20)
+        .map(|i| QueryProfile::new(2, [(i % 2, 0.1)]))
+        .collect();
+    println!("advisor on a both-attributes workload: {:?}", advisor.recommend(&conjunctive));
+    println!("advisor on a one-attribute workload:   {:?}", advisor.recommend(&single));
+}

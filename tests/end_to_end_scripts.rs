@@ -1,0 +1,175 @@
+//! End-to-end script tests: `.cdb` sources through the parser, optimizer,
+//! and evaluator, with semantic checks on the outputs.
+
+use cqa::core::{Catalog, Value};
+use cqa::lang::schema_def::parse_cdb;
+use cqa::lang::ScriptRunner;
+use cqa::num::Rat;
+
+fn runner(cdb: &str) -> ScriptRunner {
+    let mut catalog = Catalog::new();
+    parse_cdb(cdb).expect("valid .cdb").load_into(&mut catalog);
+    ScriptRunner::new(catalog)
+}
+
+const TRAINS: &str = r#"
+# Train trajectories: position p as a function of time t (piecewise linear),
+# the classic spatiotemporal constraint example.
+relation Train {
+  name: string relational;
+  t: rational constraint;
+  p: rational constraint;
+}
+# Express: leaves at t=0 from p=0 at speed 2.
+tuple Train { name = "express"; t >= 0; t <= 50; p = 2*t }
+# Local: leaves at t=10 from p=0 at speed 1.
+tuple Train { name = "local"; t >= 10; t <= 80; p = t - 10 }
+# Freight: parked at p = 30 all day.
+tuple Train { name = "freight"; t >= 0; t <= 100; p = 30 }
+"#;
+
+#[test]
+fn trains_where_is_everyone_at_t20() {
+    let mut r = runner(TRAINS);
+    let out = r
+        .run("At20 = select t = 20 from Train\nWho = project At20 on name, p\n")
+        .unwrap();
+    // express at p=40, local at p=10, freight at p=30.
+    assert!(out.contains_point(&[Value::str("express"), Value::int(40)]).unwrap());
+    assert!(out.contains_point(&[Value::str("local"), Value::int(10)]).unwrap());
+    assert!(out.contains_point(&[Value::str("freight"), Value::int(30)]).unwrap());
+    assert!(!out.contains_point(&[Value::str("express"), Value::int(39)]).unwrap());
+}
+
+#[test]
+fn trains_who_passes_the_freight() {
+    // Who is ever at the freight's position (p = 30)?
+    let mut r = runner(TRAINS);
+    let out = r
+        .run("AtFreight = select p = 30 from Train\nWho = project AtFreight on name, t\n")
+        .unwrap();
+    // express at t = 15; local at t = 40.
+    assert!(out.contains_point(&[Value::str("express"), Value::int(15)]).unwrap());
+    assert!(out.contains_point(&[Value::str("local"), Value::int(40)]).unwrap());
+    assert!(!out.contains_point(&[Value::str("express"), Value::int(16)]).unwrap());
+}
+
+#[test]
+fn trains_meeting_query_via_rename_and_join() {
+    // Do the express and the local ever meet? Same t, same p, different
+    // names — the algebra needs rename for the self-join.
+    let mut r = runner(TRAINS);
+    let out = r
+        .run(
+            "E = select name = \"express\" from Train\n\
+             Ep = project E on t, p\n\
+             L = select name = \"local\" from Train\n\
+             Lp = project L on t, p\n\
+             Meet = join Ep and Lp\n",
+        )
+        .unwrap();
+    // 2t = t - 10 ⇒ t = -10: outside both schedules ⇒ they never meet.
+    assert!(out.is_empty() || out.tuples().iter().all(|t| !t.is_satisfiable()));
+
+    // But the local *does* meet the freight: t - 10 = 30 ⇒ t = 40.
+    let out = r
+        .run(
+            "F = select name = \"freight\" from Train\n\
+             Fp = project F on t, p\n\
+             L2 = select name = \"local\" from Train\n\
+             Lp2 = project L2 on t, p\n\
+             Meet2 = join Fp and Lp2\n",
+        )
+        .unwrap();
+    assert!(out.contains_point(&[Value::int(40), Value::int(30)]).unwrap());
+    assert!(!out.contains_point(&[Value::int(41), Value::int(30)]).unwrap());
+}
+
+#[test]
+fn interval_arithmetic_difference() {
+    let mut r = runner(
+        "relation Shift { who: string relational; h: rational constraint }\n\
+         tuple Shift { who = \"ann\"; h >= 0; h <= 24 }\n\
+         relation Busy { who: string relational; h: rational constraint }\n\
+         tuple Busy { who = \"ann\"; h >= 9; h <= 17 }\n",
+    );
+    let out = r.run("Free = diff Shift and Busy\n").unwrap();
+    assert!(out.contains_point(&[Value::str("ann"), Value::int(8)]).unwrap());
+    assert!(!out.contains_point(&[Value::str("ann"), Value::int(12)]).unwrap());
+    assert!(out.contains_point(&[Value::str("ann"), Value::int(18)]).unwrap());
+    assert!(out
+        .contains_point(&[Value::str("ann"), Value::rat(Rat::from_pair(35, 2))])
+        .unwrap());
+    // Boundary hours belong to Busy (closed interval), so they are not free.
+    assert!(!out.contains_point(&[Value::str("ann"), Value::int(9)]).unwrap());
+    assert!(!out.contains_point(&[Value::str("ann"), Value::int(17)]).unwrap());
+}
+
+#[test]
+fn rename_then_cross_product() {
+    let mut r = runner(
+        "relation R { x: rational constraint }\n\
+         tuple R { x >= 0; x <= 1 }\n\
+         tuple R { x >= 5; x <= 6 }\n",
+    );
+    let out = r.run("S = rename x to y in R\nPairs = join R and S\n").unwrap();
+    assert_eq!(out.len(), 4, "cross product of intervals");
+    assert!(out.contains_point(&[Value::int(0), Value::int(6)]).unwrap());
+    assert!(!out.contains_point(&[Value::int(3), Value::int(6)]).unwrap());
+}
+
+#[test]
+fn spatial_scan_joins_vector_data_into_the_algebra() {
+    // The homogeneous-data goal of §1.1: a vector-model lake becomes a
+    // constraint relation via `spatial`, then participates in ordinary
+    // selects and joins alongside administrative data.
+    let mut r = runner(
+        r#"
+relation Depth { id: string relational; meters: rational relational }
+tuple Depth { id = "lake"; meters = 42 }
+tuple Depth { id = "pond"; meters = 3 }
+
+spatial Waters {
+  feature "lake" polygon (0, 0) (8, 0) (8, 4) (4, 4) (4, 8) (0, 8);
+  feature "pond" polygon (20, 20) (24, 20) (24, 24) (20, 24);
+}
+"#,
+    );
+    let out = r
+        .run(
+            "W = spatial Waters\n\
+             North = select y >= 5 from W\n\
+             Deep = select meters >= 10 from Depth\n\
+             Both = join North and Deep\n\
+             Ids = project Both on id\n",
+        )
+        .unwrap();
+    // Only the lake reaches y ≥ 5 *and* is deep.
+    assert_eq!(out.len(), 1);
+    assert!(out.contains_point(&[Value::str("lake")]).unwrap());
+    // The intermediate spatial scan kept exact constraint semantics.
+    let w = r.catalog().get("W").unwrap();
+    assert!(w
+        .contains_point(&[Value::str("lake"), Value::int(2), Value::int(6)])
+        .unwrap());
+    assert!(!w
+        .contains_point(&[Value::str("lake"), Value::int(6), Value::int(6)])
+        .unwrap(), "the notch of the L is outside");
+}
+
+#[test]
+fn scripts_survive_reuse_of_target_names() {
+    let mut r = runner(
+        "relation R { x: rational constraint }\n\
+         tuple R { x >= 0; x <= 10 }\n",
+    );
+    let out = r
+        .run(
+            "T = select x >= 5 from R\n\
+             T = select x <= 7 from T\n",
+        )
+        .unwrap();
+    assert!(out.contains_point(&[Value::int(6)]).unwrap());
+    assert!(!out.contains_point(&[Value::int(4)]).unwrap());
+    assert!(!out.contains_point(&[Value::int(8)]).unwrap());
+}
