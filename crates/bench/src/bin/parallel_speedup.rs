@@ -1,0 +1,243 @@
+//! Parallel-evaluator speedup harness.
+//!
+//! Runs a seeded two-relation constraint join across the full
+//! `{threads} × {bbox filter on/off}` grid, checks that every
+//! configuration produces a byte-identical result (the determinism
+//! contract of the chunked executor and the soundness contract of the
+//! filter), and reports wall-clock speedups plus the filter's rejection
+//! rate. Results are written to `BENCH_parallel.json`.
+//!
+//! The headline number compares the evaluator's **new default**
+//! (all hardware threads, filter on) against the **pre-parallelism
+//! baseline** (one thread, filter off — `ExecOptions::serial()`). On a
+//! single-core container the thread axis is flat and the filter carries
+//! the speedup; the full grid is reported so both effects are visible
+//! separately.
+//!
+//! Usage: `parallel_speedup [--quick] [--out PATH]`
+
+use cqa::core::ops::join_opts;
+use cqa::core::{AttrDef, ExecOptions, ExecStats, HRelation, Schema};
+use cqa::num::prng::Pcg32;
+use std::time::Instant;
+
+const SEED: u64 = 0xC0FFEE;
+
+struct Config {
+    tuples: usize,
+    repeats: usize,
+    mode: &'static str,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: parallel_speedup [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {:?}", other);
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if quick {
+        Config { tuples: 120, repeats: 1, mode: "quick" }
+    } else {
+        Config { tuples: 500, repeats: 3, mode: "full" }
+    };
+
+    let left = interval_relation("aid", cfg.tuples, SEED);
+    let right = interval_relation("bid", cfg.tuples, SEED ^ 0x9E37_79B9);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "# parallel_speedup ({}): {}x{} tuple join, seed {:#x}, {} repeats, {} hardware thread(s)",
+        cfg.mode, cfg.tuples, cfg.tuples, SEED, cfg.repeats, hw
+    );
+    println!("{:>8} {:>7} {:>12} {:>10} {:>18}", "threads", "filter", "median_ms", "rows", "result_hash");
+
+    // The honest grid: both axes, including the serial no-filter baseline
+    // and the new default.
+    let thread_axis = [1usize, 4];
+    let mut cells: Vec<Cell> = Vec::new();
+    for &threads in &thread_axis {
+        for filter in [false, true] {
+            let opts = ExecOptions { threads, bbox_filter: filter };
+            cells.push(run_cell(&left, &right, &opts, cfg.repeats));
+        }
+    }
+
+    // Determinism/soundness gate: the join's output must be byte-identical
+    // in every cell (the filter only skips provably-unsat pairs; the
+    // executor preserves serial order for every thread count).
+    let hash0 = cells[0].hash;
+    if let Some(bad) = cells.iter().find(|c| c.hash != hash0) {
+        eprintln!(
+            "NONDETERMINISM: threads={} filter={} produced hash {:#018x}, expected {:#018x}",
+            bad.threads, bad.filter, bad.hash, hash0
+        );
+        std::process::exit(1);
+    }
+    println!("RESULT_HASH {:#018x}", hash0);
+
+    let baseline = cells
+        .iter()
+        .find(|c| c.threads == 1 && !c.filter)
+        .expect("grid contains the serial baseline");
+    let default_cell = cells
+        .iter()
+        .find(|c| c.threads == 4 && c.filter)
+        .expect("grid contains the new default");
+    let speedup = baseline.median_ms / default_cell.median_ms;
+    let rate = if default_cell.checked > 0 {
+        default_cell.rejected as f64 / default_cell.checked as f64
+    } else {
+        0.0
+    };
+    println!(
+        "headline: {:.2}x (threads=1 filter=off {:.2} ms -> threads=4 filter=on {:.2} ms)",
+        speedup, baseline.median_ms, default_cell.median_ms
+    );
+    println!(
+        "bbox filter: rejected {}/{} candidate pairs ({:.1}%)",
+        default_cell.rejected,
+        default_cell.checked,
+        100.0 * rate
+    );
+    if hw == 1 {
+        println!("note: single hardware thread — the speedup is carried by the bbox filter");
+    }
+
+    let json = render_json(&cfg, &cells, hash0, speedup, rate, hw);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {}: {}", out_path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path);
+}
+
+struct Cell {
+    threads: usize,
+    filter: bool,
+    median_ms: f64,
+    rows: usize,
+    hash: u64,
+    checked: u64,
+    rejected: u64,
+}
+
+fn run_cell(left: &HRelation, right: &HRelation, opts: &ExecOptions, repeats: usize) -> Cell {
+    let mut times = Vec::with_capacity(repeats);
+    let mut rows = 0;
+    let mut hash = 0;
+    let mut checked = 0;
+    let mut rejected = 0;
+    for _ in 0..repeats {
+        let stats = ExecStats::new();
+        let t = Instant::now();
+        let out = join_opts(left, right, opts, &stats).expect("join succeeds");
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        rows = out.len();
+        hash = fnv1a(format!("{}", out).as_bytes());
+        checked = stats.checked();
+        rejected = stats.rejected();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_ms = times[times.len() / 2];
+    println!(
+        "{:>8} {:>7} {:>12.2} {:>10} {:>#18x}",
+        opts.threads,
+        if opts.bbox_filter { "on" } else { "off" },
+        median_ms,
+        rows,
+        hash
+    );
+    Cell { threads: opts.threads, filter: opts.bbox_filter, median_ms, rows, hash, checked, rejected }
+}
+
+/// A relation `(id: string relational, x: rational constraint)` with `n`
+/// seeded random integer intervals in the §5.4 coordinate domain. Joining
+/// two of these on the shared constraint attribute `x` intersects the
+/// intervals of every id pair; most pairs are disjoint, which is exactly
+/// the regime the cheap filter targets.
+fn interval_relation(id_attr: &str, n: usize, seed: u64) -> HRelation {
+    let schema =
+        Schema::new(vec![AttrDef::str_rel(id_attr), AttrDef::rat_con("x")]).expect("valid schema");
+    let mut rel = HRelation::new(schema);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    for i in 0..n {
+        let lo = rng.gen_range_i64(0, 3000);
+        let w = rng.gen_range_i64(1, 100);
+        rel.insert_with(|b| b.set(id_attr, format!("{}{}", id_attr, i).as_str()).range("x", lo, lo + w))
+            .expect("valid tuple");
+    }
+    rel
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn render_json(
+    cfg: &Config,
+    cells: &[Cell],
+    hash: u64,
+    speedup: f64,
+    rejection_rate: f64,
+    hw: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"parallel_speedup\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode));
+    s.push_str(&format!("  \"seed\": {},\n", SEED));
+    s.push_str(&format!("  \"tuples_per_relation\": {},\n", cfg.tuples));
+    s.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
+    s.push_str(&format!("  \"hardware_threads\": {},\n", hw));
+    s.push_str(&format!("  \"result_hash\": \"{:#018x}\",\n", hash));
+    s.push_str(&format!("  \"result_rows\": {},\n", cells[0].rows));
+    s.push_str("  \"grid\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"bbox_filter\": {}, \"median_ms\": {:.3}}}{}\n",
+            c.threads,
+            c.filter,
+            c.median_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let default_cell = cells.iter().find(|c| c.threads == 4 && c.filter).expect("present");
+    s.push_str(&format!("  \"filter_checked\": {},\n", default_cell.checked));
+    s.push_str(&format!("  \"filter_rejected\": {},\n", default_cell.rejected));
+    s.push_str(&format!("  \"filter_rejection_rate\": {:.4},\n", rejection_rate));
+    s.push_str("  \"headline\": {\n");
+    s.push_str("    \"baseline\": \"threads=1 bbox_filter=off (pre-parallelism serial path)\",\n");
+    s.push_str("    \"candidate\": \"threads=4 bbox_filter=on (new default)\",\n");
+    s.push_str(&format!("    \"speedup\": {:.3}\n", speedup));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"note\": \"all grid cells produced byte-identical results; container exposes {} hardware thread(s), so thread scaling beyond that is flat and the bbox filter carries the speedup\"\n",
+        hw
+    ));
+    s.push_str("}\n");
+    s
+}

@@ -14,8 +14,7 @@
 //! relational attribute holds a single value per tuple, which is a
 //! degenerate (zero-extent) box.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cqa::num::prng::Pcg32;
 
 /// A 2-attribute tuple extent: per-attribute `[lo, hi]` intervals.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,35 +39,35 @@ pub const NUM_QUERIES: usize = 100;
 /// Number of queries in experiment 3.
 pub const NUM_QUERIES_EXPT3: usize = 500;
 
-fn random_box(rng: &mut StdRng) -> Box2 {
-    let x = rng.gen_range(0.0..=COORD_MAX);
-    let y = rng.gen_range(0.0..=COORD_MAX);
-    let w = rng.gen_range(1.0..=EXTENT_MAX);
-    let h = rng.gen_range(1.0..=EXTENT_MAX);
+fn random_box(rng: &mut Pcg32) -> Box2 {
+    let x = rng.gen_range_f64(0.0, COORD_MAX);
+    let y = rng.gen_range_f64(0.0, COORD_MAX);
+    let w = rng.gen_range_f64(1.0, EXTENT_MAX);
+    let h = rng.gen_range_f64(1.0, EXTENT_MAX);
     Box2 { x: (x, x + w), y: (y, y + h) }
 }
 
-fn random_point(rng: &mut StdRng) -> Box2 {
-    let x = rng.gen_range(0.0..=COORD_MAX);
-    let y = rng.gen_range(0.0..=COORD_MAX);
+fn random_point(rng: &mut Pcg32) -> Box2 {
+    let x = rng.gen_range_f64(0.0, COORD_MAX);
+    let y = rng.gen_range_f64(0.0, COORD_MAX);
     Box2 { x: (x, x), y: (y, y) }
 }
 
 /// The data file: `NUM_DATA` constraint-attribute extents (bounding boxes).
 pub fn constraint_data(seed: u64) -> Vec<Box2> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     (0..NUM_DATA).map(|_| random_box(&mut rng)).collect()
 }
 
 /// The data file for the relational experiments: point tuples.
 pub fn relational_data(seed: u64) -> Vec<Box2> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     (0..NUM_DATA).map(|_| random_point(&mut rng)).collect()
 }
 
 /// The query file: `n` query rectangles.
 pub fn queries(seed: u64, n: usize) -> Vec<Box2> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     (0..n).map(|_| random_box(&mut rng)).collect()
 }
 

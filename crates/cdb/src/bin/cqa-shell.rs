@@ -135,6 +135,7 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             println!("             insert into NAME {{ conds }}");
             println!("             drop NAME");
             println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT  \\trace STMT");
+            println!("             \\set threads N  \\set filter on|off  \\set");
             println!("             \\load FILE.cdb  \\save DIR  \\open DIR  \\quit");
         }
         "list" | "l" => {
@@ -168,7 +169,8 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
                         optimizer::optimize(&plan, runner.catalog()).map_err(|e| e.to_string())
                     })
                     .and_then(|plan| {
-                        exec::execute_traced(&plan, runner.catalog()).map_err(|e| e.to_string())
+                        exec::execute_traced_opts(&plan, runner.catalog(), runner.exec_options())
+                            .map_err(|e| e.to_string())
                     }) {
                     Ok((result, trace)) => {
                         print!("{}", trace);
@@ -201,6 +203,40 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             Ok(_) => eprintln!("\\plan takes exactly one statement"),
             Err(e) => eprintln!("error: {}", e),
         },
+        "set" => {
+            let mut opts = runner.exec_options().clone();
+            match rest.split_once(char::is_whitespace).map(|(k, v)| (k, v.trim())) {
+                Some(("threads", v)) => match v.parse::<usize>() {
+                    Ok(n) => {
+                        opts.threads = n;
+                        runner.set_exec_options(opts);
+                    }
+                    Err(_) => eprintln!("\\set threads takes a number (0 = all cores)"),
+                },
+                Some(("filter", v)) => match v {
+                    "on" => {
+                        opts.bbox_filter = true;
+                        runner.set_exec_options(opts);
+                    }
+                    "off" => {
+                        opts.bbox_filter = false;
+                        runner.set_exec_options(opts);
+                    }
+                    _ => eprintln!("\\set filter takes on|off"),
+                },
+                Some((other, _)) => eprintln!("unknown setting {:?} (threads, filter)", other),
+                None if rest.is_empty() => {
+                    let o = runner.exec_options();
+                    println!(
+                        "threads = {} (effective {}), filter = {}",
+                        o.threads,
+                        o.effective_threads(),
+                        if o.bbox_filter { "on" } else { "off" }
+                    );
+                }
+                None => eprintln!("usage: \\set threads N | \\set filter on|off | \\set"),
+            }
+        }
         "load" => match load_cdb(runner.catalog_mut(), rest) {
             Ok(()) => println!("loaded {}", rest),
             Err(e) => eprintln!("error: {}", e),

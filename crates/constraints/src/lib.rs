@@ -34,6 +34,7 @@ mod dnf;
 pub mod fourier_motzkin;
 mod interval;
 mod linexpr;
+mod quickbox;
 mod var;
 
 pub use assignment::Assignment;
@@ -42,4 +43,5 @@ pub use conj::Conjunction;
 pub use dnf::Dnf;
 pub use interval::{Bound, Interval};
 pub use linexpr::LinExpr;
+pub use quickbox::QuickBox;
 pub use var::Var;

@@ -2,6 +2,11 @@
 //! 3): closure of quantifier elimination within the class, and agreement
 //! of its satisfiability with the linear engine.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_constraints::denseorder::{OrderAtom, OrderConjunction, Term};
 use cqa_constraints::Var;
 use cqa_num::Rat;

@@ -6,6 +6,11 @@
 //! conjunctions/formulas and random rational points, and comparing the
 //! results of syntactic manipulation against pointwise evaluation.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_constraints::{Assignment, Atom, Conjunction, Dnf, LinExpr, Var};
 use cqa_num::Rat;
 use proptest::prelude::*;
@@ -81,6 +86,33 @@ proptest! {
         }
         if !projected.is_satisfiable() {
             prop_assert!(!c.is_satisfiable());
+        }
+    }
+
+    /// The cheap bounding-box filter is sound: whenever `quick_disjoint`
+    /// claims two conjunctions cannot share a point, the exact conjunction
+    /// of the two must be unsatisfiable. (The box is conservative, so the
+    /// converse is not required.)
+    #[test]
+    fn quick_disjoint_implies_unsat(a in arb_conj(4), b in arb_conj(4)) {
+        if a.quick_disjoint(&b, 3) {
+            prop_assert!(!a.and(&b).is_satisfiable(),
+                "quick_disjoint rejected a satisfiable pair: {} vs {}", a, b);
+        }
+    }
+
+    /// And the box really encloses the conjunction: any satisfying point
+    /// lies inside the (widened) per-dimension bounds.
+    #[test]
+    fn quick_box_encloses_satisfying_points(c in arb_conj(4), p in arb_point()) {
+        if c.eval(&p) == Some(true) {
+            let bx = c.quick_box(3);
+            for (d, v) in [(0usize, X), (1, Y), (2, Z)] {
+                let (lo, hi) = bx.dim(d);
+                let vf = p.get(v).unwrap().to_f64();
+                prop_assert!(lo <= vf && vf <= hi,
+                    "dim {} point {} outside box [{}, {}] for {}", d, vf, lo, hi, c);
+            }
         }
     }
 

@@ -19,8 +19,8 @@ use crate::schema::{AttrKind, AttrType};
 use crate::value::Value;
 use cqa_index::{RStarParams, RStarTree, Rect};
 use cqa_spatial::SpatialRelation;
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bounds substituted for unconstrained attributes in index probes.
 const WORLD: f64 = 1.0e15;
@@ -34,7 +34,9 @@ enum IndexTree {
 pub struct RelationIndex {
     attrs: Vec<String>,
     tree: IndexTree,
-    accesses: Cell<u64>,
+    // Atomic so probes stay `&self` under the parallel executor; sums are
+    // order-independent, so parallel runs report the same totals as serial.
+    accesses: AtomicU64,
 }
 
 impl RelationIndex {
@@ -113,7 +115,7 @@ impl RelationIndex {
         Ok(RelationIndex {
             attrs: attrs.iter().map(|s| s.to_string()).collect(),
             tree,
-            accesses: Cell::new(0),
+            accesses: AtomicU64::new(0),
         })
     }
 
@@ -124,7 +126,7 @@ impl RelationIndex {
 
     /// Total node accesses charged to probes of this index.
     pub fn accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Probes with per-attribute `[lo, hi]` bounds (`None` = unbounded),
@@ -151,7 +153,7 @@ impl RelationIndex {
                 t.search_with_stats(&Rect::new([xlo, ylo], [xhi, yhi]))
             }
         };
-        self.accesses.set(self.accesses.get() + accesses);
+        self.accesses.fetch_add(accesses, Ordering::Relaxed);
         ids.sort_unstable();
         ids.dedup();
         ids.into_iter().map(|i| i as usize).collect()

@@ -5,10 +5,20 @@
 //! correct form. Whole-feature operators evaluate against the catalog's
 //! spatial relations and produce ordinary (finite, relational) relations
 //! keyed by feature IDs, as §4 prescribes.
+//!
+//! Evaluation is parameterized by [`ExecOptions`]: the tuple-level
+//! operators run on the deterministic chunked executor (output identical
+//! for every thread count) and consult the conservative bounding-box
+//! filter before exact constraint arithmetic. Base-relation scans are
+//! borrowed from the catalog (`Cow`), not cloned, so a scan feeding an
+//! operator costs nothing.
+
+use std::borrow::Cow;
 
 use crate::catalog::Catalog;
 use crate::error::Result;
 use crate::ops;
+use crate::par::{ExecOptions, ExecStats};
 use crate::plan::Plan;
 use crate::relation::HRelation;
 use crate::safety;
@@ -16,10 +26,22 @@ use crate::schema::{AttrDef, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// Evaluates a plan against a catalog (after a safety check).
+/// Evaluates a plan against a catalog with default [`ExecOptions`]
+/// (after a safety check).
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
+    execute_opts(plan, catalog, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// Evaluates a plan with explicit execution options; bounding-box filter
+/// counters accumulate into `stats` across the whole plan.
+pub fn execute_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<HRelation> {
     safety::check(plan)?;
-    eval(plan, catalog)
+    Ok(eval(plan, catalog, opts, stats)?.into_owned())
 }
 
 /// Per-node evaluation statistics, mirroring the plan tree.
@@ -31,6 +53,10 @@ pub struct TraceNode {
     pub rows: usize,
     /// Wall-clock time spent in this node, *excluding* its children.
     pub elapsed: std::time::Duration,
+    /// Candidate pairs/tuples checked by this node's bounding-box filter.
+    pub filter_checked: u64,
+    /// How many of those the filter rejected before exact arithmetic.
+    pub filter_rejected: u64,
     /// Child traces in plan order.
     pub children: Vec<TraceNode>,
 }
@@ -38,14 +64,22 @@ pub struct TraceNode {
 impl TraceNode {
     fn render(&self, out: &mut String, depth: usize) {
         use std::fmt::Write as _;
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{}{}  [{} row(s), {:.2?}]",
+            "{}{}  [{} row(s), {:.2?}",
             "  ".repeat(depth),
             self.label,
             self.rows,
             self.elapsed
         );
+        if self.filter_checked > 0 {
+            let _ = write!(
+                out,
+                ", bbox filter {}/{} rejected",
+                self.filter_rejected, self.filter_checked
+            );
+        }
+        let _ = writeln!(out, "]");
         for c in &self.children {
             c.render(out, depth + 1);
         }
@@ -60,69 +94,89 @@ impl std::fmt::Display for TraceNode {
     }
 }
 
-/// Evaluates a plan, also producing a per-node trace (row counts and
-/// self-times) — the `EXPLAIN ANALYZE` of the CQA layer.
+/// Evaluates a plan, also producing a per-node trace (row counts,
+/// self-times and filter hit rates) — the `EXPLAIN ANALYZE` of the CQA
+/// layer. Uses default [`ExecOptions`].
 ///
 /// The traced path always evaluates operators directly (no index-assisted
 /// selection), so the trace reflects the plain algebra; results are
 /// identical to [`execute`] either way.
 pub fn execute_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
-    safety::check(plan)?;
-    eval_traced(plan, catalog)
+    execute_traced_opts(plan, catalog, &ExecOptions::default())
 }
 
-fn eval_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
+/// [`execute_traced`] with explicit execution options.
+pub fn execute_traced_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<(HRelation, TraceNode)> {
+    safety::check(plan)?;
+    let (rel, trace) = eval_traced(plan, catalog, opts)?;
+    Ok((rel.into_owned(), trace))
+}
+
+fn eval_traced<'a>(
+    plan: &Plan,
+    catalog: &'a Catalog,
+    opts: &ExecOptions,
+) -> Result<(Cow<'a, HRelation>, TraceNode)> {
     let mut children: Vec<TraceNode> = Vec::new();
-    let mut child = |p: &Plan| -> Result<HRelation> {
-        let (rel, trace) = eval_traced(p, catalog)?;
+    let mut child = |p: &Plan| -> Result<Cow<'a, HRelation>> {
+        let (rel, trace) = eval_traced(p, catalog, opts)?;
         children.push(trace);
         Ok(rel)
     };
+    // Each node gets its own counters so the trace can show per-operator
+    // filter hit rates.
+    let stats = ExecStats::new();
     let start = std::time::Instant::now();
-    let (label, rel): (String, HRelation) = match plan {
-        Plan::Scan(name) => (format!("Scan {}", name), catalog.get(name)?.clone()),
+    let (label, rel): (String, Cow<'a, HRelation>) = match plan {
+        Plan::Scan(name) => (format!("Scan {}", name), Cow::Borrowed(catalog.get(name)?)),
         Plan::SpatialScan(name) => (
             format!("SpatialScan {}", name),
-            crate::spatial_bridge::spatial_to_hrelation(catalog.get_spatial(name)?)?,
+            Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
+                catalog.get_spatial(name)?,
+            )?),
         ),
         Plan::Select { input, selection } => {
             let rel = child(input)?;
             let t = std::time::Instant::now();
-            let out = ops::select(&rel, selection)?;
-            return finish("Select".to_string(), out, t, children);
+            let out = ops::select_opts(&rel, selection, opts, &stats)?;
+            return finish("Select".to_string(), out, t, &stats, children);
         }
         Plan::Project { input, attrs } => {
             let rel = child(input)?;
             let t = std::time::Instant::now();
             let out = ops::project(&rel, attrs)?;
-            return finish(format!("Project on {}", attrs.join(", ")), out, t, children);
+            return finish(format!("Project on {}", attrs.join(", ")), out, t, &stats, children);
         }
         Plan::Join { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
-            let out = ops::join(&l, &r)?;
-            return finish("Join".to_string(), out, t, children);
+            let out = ops::join_opts(&l, &r, opts, &stats)?;
+            return finish("Join".to_string(), out, t, &stats, children);
         }
         Plan::Union { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
             let out = ops::union(&l, &r)?;
-            return finish("Union".to_string(), out, t, children);
+            return finish("Union".to_string(), out, t, &stats, children);
         }
         Plan::Difference { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
-            let out = ops::difference(&l, &r)?;
-            return finish("Difference".to_string(), out, t, children);
+            let out = ops::difference_opts(&l, &r, opts, &stats)?;
+            return finish("Difference".to_string(), out, t, &stats, children);
         }
         Plan::Rename { input, from, to } => {
             let rel = child(input)?;
             let t = std::time::Instant::now();
             let out = ops::rename(&rel, from, to)?;
-            return finish(format!("Rename {} -> {}", from, to), out, t, children);
+            return finish(format!("Rename {} -> {}", from, to), out, t, &stats, children);
         }
         other @ (Plan::BufferJoin { .. } | Plan::KNearest { .. }) => {
-            let out = eval(other, catalog)?;
+            let out = eval(other, catalog, opts, &stats)?;
             let label = match other {
                 Plan::BufferJoin { left, right, .. } => format!("BufferJoin {} and {}", left, right),
                 Plan::KNearest { left, right, k } => {
@@ -135,57 +189,102 @@ fn eval_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)>
         Plan::Distance { .. } => unreachable!("rejected by the safety check"),
     };
     let rows = rel.len();
-    Ok((rel, TraceNode { label, rows, elapsed: start.elapsed(), children }))
+    Ok((
+        rel,
+        TraceNode {
+            label,
+            rows,
+            elapsed: start.elapsed(),
+            filter_checked: stats.checked(),
+            filter_rejected: stats.rejected(),
+            children,
+        },
+    ))
 }
 
-fn finish(
+fn finish<'a>(
     label: String,
     out: HRelation,
     since: std::time::Instant,
+    stats: &ExecStats,
     children: Vec<TraceNode>,
-) -> Result<(HRelation, TraceNode)> {
+) -> Result<(Cow<'a, HRelation>, TraceNode)> {
     let rows = out.len();
-    Ok((out, TraceNode { label, rows, elapsed: since.elapsed(), children }))
+    Ok((
+        Cow::Owned(out),
+        TraceNode {
+            label,
+            rows,
+            elapsed: since.elapsed(),
+            filter_checked: stats.checked(),
+            filter_rejected: stats.rejected(),
+            children,
+        },
+    ))
 }
 
-fn eval(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
-    match plan {
-        Plan::Scan(name) => Ok(catalog.get(name)?.clone()),
-        Plan::SpatialScan(name) => {
-            crate::spatial_bridge::spatial_to_hrelation(catalog.get_spatial(name)?)
-        }
+fn eval<'a>(
+    plan: &Plan,
+    catalog: &'a Catalog,
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<Cow<'a, HRelation>> {
+    Ok(match plan {
+        Plan::Scan(name) => Cow::Borrowed(catalog.get(name)?),
+        Plan::SpatialScan(name) => Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
+            catalog.get_spatial(name)?,
+        )?),
         Plan::Select { input, selection } => {
             if let Plan::Scan(name) = input.as_ref() {
-                if let Some(result) = try_index_select(catalog, name, selection)? {
-                    return Ok(result);
+                if let Some(result) = try_index_select(catalog, name, selection, opts, stats)? {
+                    return Ok(Cow::Owned(result));
                 }
             }
-            ops::select(&eval(input, catalog)?, selection)
+            let rel = eval(input, catalog, opts, stats)?;
+            Cow::Owned(ops::select_opts(&rel, selection, opts, stats)?)
         }
-        Plan::Project { input, attrs } => ops::project(&eval(input, catalog)?, attrs),
+        Plan::Project { input, attrs } => {
+            let rel = eval(input, catalog, opts, stats)?;
+            Cow::Owned(ops::project(&rel, attrs)?)
+        }
         Plan::Join { left, right } => {
-            ops::join(&eval(left, catalog)?, &eval(right, catalog)?)
+            let l = eval(left, catalog, opts, stats)?;
+            let r = eval(right, catalog, opts, stats)?;
+            Cow::Owned(ops::join_opts(&l, &r, opts, stats)?)
         }
         Plan::Union { left, right } => {
-            ops::union(&eval(left, catalog)?, &eval(right, catalog)?)
+            let l = eval(left, catalog, opts, stats)?;
+            let r = eval(right, catalog, opts, stats)?;
+            Cow::Owned(ops::union(&l, &r)?)
         }
         Plan::Difference { left, right } => {
-            ops::difference(&eval(left, catalog)?, &eval(right, catalog)?)
+            let l = eval(left, catalog, opts, stats)?;
+            let r = eval(right, catalog, opts, stats)?;
+            Cow::Owned(ops::difference_opts(&l, &r, opts, stats)?)
         }
-        Plan::Rename { input, from, to } => ops::rename(&eval(input, catalog)?, from, to),
+        Plan::Rename { input, from, to } => {
+            let rel = eval(input, catalog, opts, stats)?;
+            Cow::Owned(ops::rename(&rel, from, to)?)
+        }
         Plan::BufferJoin { left, right, distance } => {
             let l = catalog.get_spatial(left)?;
             let r = catalog.get_spatial(right)?;
-            let (pairs, _accesses) = cqa_spatial::ops::buffer_join(l, r, distance);
-            Ok(id_pairs_relation(pairs))
+            let (pairs, _accesses) =
+                cqa_spatial::ops::buffer_join_par(l, r, distance, opts.effective_threads());
+            Cow::Owned(id_pairs_relation(pairs))
         }
         Plan::KNearest { left, right, k } => {
             let l = catalog.get_spatial(left)?;
             let r = catalog.get_spatial(right)?;
-            Ok(id_pairs_relation(cqa_spatial::ops::k_nearest(l, r, *k)))
+            Cow::Owned(id_pairs_relation(cqa_spatial::ops::k_nearest_par(
+                l,
+                r,
+                *k,
+                opts.effective_threads(),
+            )))
         }
         Plan::Distance { .. } => unreachable!("rejected by the safety check"),
-    }
+    })
 }
 
 /// Index-assisted selection over a base relation (the "through the use of
@@ -198,6 +297,8 @@ fn try_index_select(
     catalog: &Catalog,
     name: &str,
     selection: &crate::plan::Selection,
+    opts: &ExecOptions,
+    stats: &ExecStats,
 ) -> Result<Option<HRelation>> {
     use crate::plan::{CmpOp, Predicate};
     let rel = catalog.get(name)?;
@@ -279,7 +380,7 @@ fn try_index_select(
     for i in candidates {
         filtered.insert(rel.tuples()[i].clone());
     }
-    Ok(Some(ops::select(&filtered, selection)?))
+    Ok(Some(ops::select_opts(&filtered, selection, opts, stats)?))
 }
 
 /// Schema of whole-feature operator outputs: two relational string
@@ -407,9 +508,31 @@ mod tests {
         assert_eq!(scan.rows, 2);
         let shown = trace.to_string();
         assert!(shown.contains("row(s)"), "{}", shown);
+        // The Select node checked its residuals against the bbox filter.
+        assert_eq!(trace.children[0].filter_checked, 2);
         // Safety still enforced.
         let bad = Plan::Distance { left: "Probes".into(), right: "Cities".into() };
         assert!(execute_traced(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn execute_opts_matches_default_across_thread_counts() {
+        let cat = catalog();
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 5))
+            .project(&["id"]);
+        let base = execute(&plan, &cat).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let stats = ExecStats::new();
+            let out =
+                execute_opts(&plan, &cat, &ExecOptions::with_threads(threads), &stats).unwrap();
+            assert_eq!(base, out, "threads={}", threads);
+        }
+        // The serial pre-parallelism baseline agrees too (filter off).
+        let stats = ExecStats::new();
+        let out = execute_opts(&plan, &cat, &ExecOptions::serial(), &stats).unwrap();
+        assert_eq!(base, out);
+        assert_eq!(stats.checked(), 0, "serial baseline never consults the filter");
     }
 
     #[test]

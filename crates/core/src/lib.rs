@@ -43,6 +43,7 @@ pub mod exec;
 pub mod indefinite;
 pub mod ops;
 pub mod optimizer;
+pub mod par;
 pub mod persist;
 pub mod plan;
 pub mod relational;
@@ -55,6 +56,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{CoreError, Result};
+pub use par::{ExecOptions, ExecStats};
 pub use plan::{Plan, Selection};
 pub use relation::HRelation;
 pub use schema::{AttrDef, AttrKind, AttrType, Schema};

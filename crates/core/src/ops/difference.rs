@@ -12,32 +12,81 @@
 //! SQL's `EXCEPT`).
 
 use crate::error::Result;
+use crate::par::{flat_map_chunks, ExecOptions, ExecStats};
 use crate::relation::HRelation;
 use crate::tuple::Tuple;
-use cqa_constraints::Dnf;
+use cqa_constraints::{Dnf, QuickBox};
 
-/// Applies the difference `left − right`.
+/// Applies the difference `left − right` with default [`ExecOptions`].
 pub fn difference(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    difference_opts(left, right, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// Applies the difference with explicit execution options.
+///
+/// Left tuples are independent — each is reduced against its own matching
+/// subtrahends — so the outer loop runs on the deterministic chunked
+/// executor and the output order matches the serial loop for every thread
+/// count (the trailing dedup is order-stable).
+///
+/// With `bbox_filter` on, subtrahends whose bounding box is provably
+/// disjoint from the minuend's are pruned before the DNF negation: such a
+/// subtrahend removes nothing from the minuend, so semantics are
+/// unchanged, but skipping it avoids the negation blow-up (the expensive
+/// part of this operator). Unlike `select`/`join`, pruning can change the
+/// *syntactic* shape of the result (fewer redundant splits), so
+/// determinism comparisons should hold the filter setting fixed.
+pub fn difference_opts(
+    left: &HRelation,
+    right: &HRelation,
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<HRelation> {
     left.schema().require_same(right.schema())?;
+    let arity = left.schema().arity();
+
+    // Hoisted: each right tuple's box, computed once.
+    let rights: Vec<(&Tuple, QuickBox)> = right
+        .tuples()
+        .iter()
+        .map(|rt| (rt, rt.constraint().quick_box(arity)))
+        .collect();
+
+    let produced: Vec<Tuple> =
+        flat_map_chunks(left.tuples(), opts.effective_threads(), |lt| {
+            // All right tuples whose relational part is identical.
+            let matching: Vec<&(&Tuple, QuickBox)> =
+                rights.iter().filter(|(rt, _)| rt.values() == lt.values()).collect();
+            let kept: Vec<&Tuple> = if opts.bbox_filter && !matching.is_empty() {
+                let minuend_box = lt.constraint().quick_box(arity);
+                matching
+                    .iter()
+                    .filter_map(|(rt, rbox)| {
+                        let pruned = minuend_box.disjoint(rbox);
+                        stats.record(pruned);
+                        (!pruned).then_some(*rt)
+                    })
+                    .collect()
+            } else {
+                matching.iter().map(|(rt, _)| *rt).collect()
+            };
+            if kept.is_empty() {
+                return vec![lt.clone()];
+            }
+            let minuend = Dnf::from_conjunction(lt.constraint().clone());
+            let subtrahend =
+                Dnf::from_conjunctions(kept.iter().map(|rt| rt.constraint().clone()));
+            let remainder = minuend.minus(&subtrahend).normalize();
+            remainder
+                .conjunctions()
+                .iter()
+                .map(|conj| Tuple::from_parts(lt.values().to_vec(), conj.clone()))
+                .collect()
+        });
+
     let mut out = HRelation::new(left.schema().clone());
-    for lt in left.tuples() {
-        // All right tuples whose relational part is identical.
-        let matching: Vec<_> = right
-            .tuples()
-            .iter()
-            .filter(|rt| rt.values() == lt.values())
-            .collect();
-        if matching.is_empty() {
-            out.insert(lt.clone());
-            continue;
-        }
-        let minuend = Dnf::from_conjunction(lt.constraint().clone());
-        let subtrahend =
-            Dnf::from_conjunctions(matching.iter().map(|rt| rt.constraint().clone()));
-        let remainder = minuend.minus(&subtrahend).normalize();
-        for conj in remainder.conjunctions() {
-            out.insert(Tuple::from_parts(lt.values().to_vec(), conj.clone()));
-        }
+    for t in produced {
+        out.insert(t);
     }
     out.dedup();
     Ok(out)

@@ -9,16 +9,39 @@
 //! (`t`, `x`, `y`) this way.
 
 use crate::error::Result;
+use crate::par::{flat_map_chunks, ExecOptions, ExecStats};
 use crate::relation::{remap_vars, HRelation};
 use crate::schema::AttrKind;
 use crate::tuple::Tuple;
-use cqa_constraints::Var;
+use cqa_constraints::{Conjunction, QuickBox, Var};
 
-/// Applies the natural join.
+/// Applies the natural join with default [`ExecOptions`].
 pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    join_opts(left, right, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// Applies the natural join with explicit execution options.
+///
+/// The right side is prepared **once**: each right tuple's constraint is
+/// remapped into output variable positions and its conservative bounding
+/// box computed up front, instead of per pair. The outer (left) loop then
+/// runs on the deterministic chunked executor; pair order — and therefore
+/// output order — matches the serial nested loop exactly.
+///
+/// With `bbox_filter` on, a pair whose boxes are provably disjoint skips
+/// the conjoin-and-decide step. Such pairs are exactly unsatisfiable
+/// combinations, which the exact path would drop anyway, so the output is
+/// bit-identical with the filter off.
+pub fn join_opts(
+    left: &HRelation,
+    right: &HRelation,
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<HRelation> {
     let ls = left.schema();
     let rs = right.schema();
     let out_schema = ls.join(rs)?;
+    let arity = out_schema.arity();
 
     // For each right attribute: its position in the output schema.
     let right_to_out: Vec<usize> = rs
@@ -40,33 +63,64 @@ pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
         .map(|(i, a)| (i, rs.position(&a.name).expect("contains")))
         .collect();
 
-    let mut out = HRelation::new(out_schema.clone());
-    for lt in left.tuples() {
-        for rt in right.tuples() {
-            // Narrow semantics: shared relational values must both be
-            // present and equal.
-            let rel_match = shared_rel.iter().all(|&(li, ri)| {
-                matches!((lt.value(li), rt.value(ri)), (Some(a), Some(b)) if a == b)
-            });
-            if !rel_match {
-                continue;
-            }
-            // Values: left slots as-is, right non-shared appended.
-            let mut values = lt.values().to_vec();
-            values.resize(out_schema.arity(), None);
-            for (ri, &oi) in right_to_out.iter().enumerate() {
-                if oi >= ls.arity() {
-                    values[oi] = rt.values()[ri].clone();
+    // Hoisted right-side preparation (remap + box, once per right tuple).
+    let rights: Vec<(&Tuple, Conjunction, QuickBox)> = right
+        .tuples()
+        .iter()
+        .map(|rt| {
+            let conj = remap_vars(rt.constraint(), &mapping);
+            let bx = conj.quick_box(arity);
+            (rt, conj, bx)
+        })
+        .collect();
+
+    let produced: Vec<Tuple> =
+        flat_map_chunks(left.tuples(), opts.effective_threads(), |lt| {
+            // Left constraints already sit at output positions (the output
+            // schema starts with the left schema), so one box per left
+            // tuple serves every pair.
+            let left_box =
+                if opts.bbox_filter { Some(lt.constraint().quick_box(arity)) } else { None };
+            let mut out = Vec::new();
+            for (rt, rconj, rbox) in &rights {
+                // Narrow semantics: shared relational values must both be
+                // present and equal.
+                let rel_match = shared_rel.iter().all(|&(li, ri)| {
+                    matches!((lt.value(li), rt.value(ri)), (Some(a), Some(b)) if a == b)
+                });
+                if !rel_match {
+                    continue;
                 }
+                if let Some(lb) = &left_box {
+                    let rejected = lb.disjoint(rbox);
+                    stats.record(rejected);
+                    if rejected {
+                        continue;
+                    }
+                }
+                // Constraints: left part keeps its positions; the
+                // (pre-remapped) right part is conjoined. Shared constraint
+                // attributes thereby intersect.
+                let conj = lt.constraint().and(rconj);
+                if !conj.is_satisfiable() {
+                    continue;
+                }
+                // Values: left slots as-is, right non-shared appended.
+                let mut values = lt.values().to_vec();
+                values.resize(arity, None);
+                for (ri, &oi) in right_to_out.iter().enumerate() {
+                    if oi >= ls.arity() {
+                        values[oi] = rt.values()[ri].clone();
+                    }
+                }
+                out.push(Tuple::from_parts(values, conj));
             }
-            // Constraints: left part keeps its positions (output schema
-            // starts with the left schema); right part is remapped, then
-            // conjoined. Shared constraint attributes thereby intersect.
-            let conj = lt.constraint().and(&remap_vars(rt.constraint(), &mapping));
-            if conj.is_satisfiable() {
-                out.insert(Tuple::from_parts(values, conj));
-            }
-        }
+            out
+        });
+
+    let mut out = HRelation::new(out_schema);
+    for t in produced {
+        out.insert(t);
     }
     Ok(out)
 }

@@ -17,6 +17,7 @@
 //! and `y` is constraint.
 
 use crate::error::{CoreError, Result};
+use crate::par::{map_chunks, ExecOptions, ExecStats};
 use crate::relation::HRelation;
 use crate::schema::{AttrKind, AttrType, Schema};
 use crate::tuple::Tuple;
@@ -210,25 +211,60 @@ pub fn validate(schema: &Schema, selection: &Selection) -> Result<()> {
     Ok(())
 }
 
-/// Applies `ς_ξ` to a relation.
+/// Applies `ς_ξ` to a relation with default [`ExecOptions`].
 pub fn select(rel: &HRelation, selection: &Selection) -> Result<HRelation> {
+    select_opts(rel, selection, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// Applies `ς_ξ` with explicit execution options.
+///
+/// Tuples are independent, so the outer loop runs on the deterministic
+/// chunked executor; output order matches the serial evaluation exactly.
+/// With `bbox_filter` on, a tuple whose residual conjunction has a
+/// float-empty [`cqa_constraints::QuickBox`] is rejected without the
+/// exact satisfiability check — the box is an outward approximation, so
+/// this skips only tuples the exact check would reject too (bit-identical
+/// output either way).
+pub fn select_opts(
+    rel: &HRelation,
+    selection: &Selection,
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<HRelation> {
     validate(rel.schema(), selection)?;
-    let mut out = HRelation::new(rel.schema().clone());
-    'tuples: for tuple in rel.tuples() {
-        let mut residual: Conjunction = tuple.constraint().clone();
-        for pred in selection.predicates() {
-            match apply_predicate(rel.schema(), tuple, pred)? {
-                Applied::Reject => continue 'tuples,
-                Applied::Accept => {}
-                Applied::Residual(atoms) => {
-                    for a in atoms {
-                        residual.add(a);
+    let schema = rel.schema();
+    let arity = schema.arity();
+    let produced: Vec<Result<Option<Tuple>>> =
+        map_chunks(rel.tuples(), opts.effective_threads(), |tuple| {
+            let mut residual: Conjunction = tuple.constraint().clone();
+            for pred in selection.predicates() {
+                match apply_predicate(schema, tuple, pred)? {
+                    Applied::Reject => return Ok(None),
+                    Applied::Accept => {}
+                    Applied::Residual(atoms) => {
+                        for a in atoms {
+                            residual.add(a);
+                        }
                     }
                 }
             }
-        }
-        if residual.is_satisfiable() {
-            out.insert(Tuple::from_parts(tuple.values().to_vec(), residual));
+            if opts.bbox_filter {
+                let rejected = residual.quick_box(arity).is_known_empty();
+                stats.record(rejected);
+                if rejected {
+                    return Ok(None);
+                }
+            }
+            if residual.is_satisfiable() {
+                Ok(Some(Tuple::from_parts(tuple.values().to_vec(), residual)))
+            } else {
+                Ok(None)
+            }
+        });
+    let mut out = HRelation::new(schema.clone());
+    for row in produced {
+        if let Some(t) = row? {
+            out.insert(t);
         }
     }
     Ok(out)

@@ -1,0 +1,130 @@
+//! Execution options and statistics for the parallel, filter-and-refine
+//! evaluator.
+//!
+//! Two independent switches, both defaulting to "on":
+//!
+//! * **Parallelism** ([`ExecOptions::threads`]): operators fan their outer
+//!   tuple loop out over the deterministic chunked executor in
+//!   [`cqa_num::par`]. Results are bit-identical for every thread count.
+//! * **Cheap filter** ([`ExecOptions::bbox_filter`]): operators consult
+//!   conservative [`cqa_constraints::QuickBox`] bounds before running
+//!   exact (big-rational) satisfiability. For `select` and `join` the
+//!   filter only skips work whose outcome is already decided, so output
+//!   is bit-identical with the filter off; for `difference` it prunes
+//!   provably-redundant subtrahends, which preserves semantics but may
+//!   simplify the syntactic output.
+//!
+//! [`ExecStats`] counts filter consultations and rejections with atomics,
+//! so the same counters work unchanged under the parallel executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use cqa_num::par::{effective_threads, flat_map_chunks, map_chunks};
+
+/// Evaluation knobs, threaded from the shell/driver down to operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for operator-level data parallelism; `0` means all
+    /// hardware threads.
+    pub threads: usize,
+    /// Whether operators run the cheap bounding-box filter before exact
+    /// constraint arithmetic.
+    pub bbox_filter: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 0, bbox_filter: true }
+    }
+}
+
+impl ExecOptions {
+    /// The pre-parallelism baseline: one thread, no filtering. Useful as
+    /// the reference side of determinism checks and benchmarks.
+    pub fn serial() -> ExecOptions {
+        ExecOptions { threads: 1, bbox_filter: false }
+    }
+
+    /// Default options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions { threads, ..ExecOptions::default() }
+    }
+
+    /// The resolved worker count (`0` → hardware parallelism).
+    pub fn effective_threads(&self) -> usize {
+        effective_threads(self.threads)
+    }
+}
+
+/// Filter counters for one evaluation (or one plan node, in traces).
+///
+/// Atomic so operator workers can record from any thread; totals are
+/// order-independent, hence identical to a serial run's.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    filter_checked: AtomicU64,
+    filter_rejected: AtomicU64,
+}
+
+impl ExecStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Records one filter consultation and whether it rejected.
+    pub fn record(&self, rejected: bool) {
+        self.filter_checked.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.filter_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// How many candidates consulted the filter.
+    pub fn checked(&self) -> u64 {
+        self.filter_checked.load(Ordering::Relaxed)
+    }
+
+    /// How many candidates the filter rejected (exact check skipped).
+    pub fn rejected(&self) -> u64 {
+        self.filter_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Folds another counter set into this one.
+    pub fn absorb(&self, other: &ExecStats) {
+        self.filter_checked.fetch_add(other.checked(), Ordering::Relaxed);
+        self.filter_rejected.fetch_add(other.rejected(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_serial() {
+        let d = ExecOptions::default();
+        assert_eq!(d.threads, 0);
+        assert!(d.bbox_filter);
+        assert!(d.effective_threads() >= 1);
+        let s = ExecOptions::serial();
+        assert_eq!(s.threads, 1);
+        assert!(!s.bbox_filter);
+        assert_eq!(ExecOptions::with_threads(3).threads, 3);
+    }
+
+    #[test]
+    fn stats_count_and_absorb() {
+        let s = ExecStats::new();
+        s.record(false);
+        s.record(true);
+        s.record(true);
+        assert_eq!(s.checked(), 3);
+        assert_eq!(s.rejected(), 2);
+        let t = ExecStats::new();
+        t.record(true);
+        t.absorb(&s);
+        assert_eq!(t.checked(), 4);
+        assert_eq!(t.rejected(), 3);
+    }
+}

@@ -2,6 +2,11 @@
 //! load round trip through the storage engine bit-for-bit — the "no loss of
 //! accuracy" promise of §3.3 extended to disk.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_core::persist::{load_relation, save_relation};
 use cqa_core::{AttrDef, HRelation, Schema, Tuple, Value};
 use cqa_num::Rat;

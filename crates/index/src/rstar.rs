@@ -13,7 +13,7 @@
 //! search* the faithful analogue of the paper's "number of disk accesses".
 
 use crate::rect::Rect;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tuning parameters of the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,12 @@ pub(crate) struct Node<const D: usize, T> {
 }
 
 /// An R\*-tree mapping `D`-dimensional rectangles to payloads of type `T`.
-#[derive(Debug, Clone)]
+///
+/// Searches are `&self` and thread-safe: the access counter is atomic, so
+/// a tree shared across the parallel executor's workers still tallies the
+/// paper's disk-access metric (the per-query counts remain exact; only the
+/// accumulation order varies, and sums are order-independent).
+#[derive(Debug)]
 pub struct RStarTree<const D: usize, T> {
     params: RStarParams,
     pub(crate) nodes: Vec<Node<D, T>>,
@@ -71,7 +76,21 @@ pub struct RStarTree<const D: usize, T> {
     pub(crate) root: NodeId,
     height: usize, // leaf = level 0; root is at level height - 1
     len: usize,
-    accesses: Cell<u64>,
+    accesses: AtomicU64,
+}
+
+impl<const D: usize, T: Clone> Clone for RStarTree<D, T> {
+    fn clone(&self) -> Self {
+        RStarTree {
+            params: self.params,
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            accesses: AtomicU64::new(self.accesses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<const D: usize, T: Clone + PartialEq> Default for RStarTree<D, T> {
@@ -91,7 +110,7 @@ impl<const D: usize, T: Clone + PartialEq> RStarTree<D, T> {
             root: NodeId(0),
             height: 1,
             len: 0,
-            accesses: Cell::new(0),
+            accesses: AtomicU64::new(0),
         }
     }
 
@@ -117,12 +136,12 @@ impl<const D: usize, T: Clone + PartialEq> RStarTree<D, T> {
 
     /// Total node accesses performed by searches so far.
     pub fn accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Resets the access counter.
     pub fn reset_accesses(&self) {
-        self.accesses.set(0);
+        self.accesses.store(0, Ordering::Relaxed);
     }
 
     /// The bounding rectangle of the whole tree.
@@ -190,7 +209,7 @@ impl<const D: usize, T: Clone + PartialEq> RStarTree<D, T> {
                 }
             }
         }
-        self.accesses.set(self.accesses.get() + accesses);
+        self.accesses.fetch_add(accesses, Ordering::Relaxed);
         (results, accesses)
     }
 

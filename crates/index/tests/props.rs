@@ -2,6 +2,11 @@
 //! and removes, checked against a linear-scan oracle, with structural
 //! invariants verified after every mutation.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_index::{RStarParams, RStarTree, Rect};
 use proptest::prelude::*;
 

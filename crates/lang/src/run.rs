@@ -10,24 +10,35 @@ use crate::ast::{Script, Statement};
 use crate::lex::LangError;
 use crate::lower::lower_expr;
 use crate::parse::parse_script;
-use cqa_core::{exec, optimizer, Catalog, HRelation};
+use cqa_core::{exec, optimizer, Catalog, ExecOptions, ExecStats, HRelation};
 
 /// Executes scripts against a catalog, accumulating intermediate results.
 pub struct ScriptRunner {
     catalog: Catalog,
     optimize: bool,
+    exec_options: ExecOptions,
 }
 
 impl ScriptRunner {
     /// A runner over the given catalog.
     pub fn new(catalog: Catalog) -> ScriptRunner {
-        ScriptRunner { catalog, optimize: true }
+        ScriptRunner { catalog, optimize: true, exec_options: ExecOptions::default() }
     }
 
     /// Disables the optimizer (for tests and ablation benchmarks).
     pub fn without_optimizer(mut self) -> ScriptRunner {
         self.optimize = false;
         self
+    }
+
+    /// The execution options queries run with.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec_options
+    }
+
+    /// Replaces the execution options (thread count, bbox filter).
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.exec_options = opts;
     }
 
     /// The underlying catalog (intermediates included).
@@ -59,8 +70,9 @@ impl ScriptRunner {
                     } else {
                         plan
                     };
-                    let result = exec::execute(&plan, &self.catalog)
-                        .map_err(|e| LangError::new(*line, 1, e.to_string()))?;
+                    let result =
+                        exec::execute_opts(&plan, &self.catalog, &self.exec_options, &ExecStats::new())
+                            .map_err(|e| LangError::new(*line, 1, e.to_string()))?;
                     self.catalog.register(target.clone(), result.clone());
                     last = Some(result);
                 }

@@ -6,58 +6,66 @@
 
 use cqa_lang::parse::parse_script;
 use cqa_lang::schema_def::parse_cdb;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+// Property suite: compiled only with `--features proptest` (see
+// third_party/README.md).
+#[cfg(feature = "proptest")]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
 
-    /// Arbitrary unicode soup: never panic.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,120}") {
-        let _ = parse_script(&input);
-        let _ = parse_cdb(&input);
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Statement-shaped soup: tokens that look like the grammar.
-    #[test]
-    fn statement_shaped_soup_never_panics(
-        target in "[A-Za-z][A-Za-z0-9]{0,6}",
-        op in prop::sample::select(vec![
-            "select", "project", "join", "union", "diff", "rename",
-            "bufferjoin", "knearest", "distance", "spatial", "garbage",
-        ]),
-        junk in "[A-Za-z0-9 ,<>=+*._\"()-]{0,60}",
-    ) {
-        let line = format!("{} = {} {}\n", target, op, junk);
-        let _ = parse_script(&line);
-    }
+        /// Arbitrary unicode soup: never panic.
+        #[test]
+        fn parser_never_panics(input in "\\PC{0,120}") {
+            let _ = parse_script(&input);
+            let _ = parse_cdb(&input);
+        }
 
-    /// Cdb-shaped soup.
-    #[test]
-    fn cdb_shaped_soup_never_panics(
-        kw in prop::sample::select(vec!["relation", "tuple", "spatial"]),
-        name in "[A-Za-z][A-Za-z0-9]{0,6}",
-        body in "[A-Za-z0-9 ;:,<>=+*._\"()-]{0,80}",
-    ) {
-        let text = format!("{} {} {{ {} }}\n", kw, name, body);
-        let _ = parse_cdb(&text);
-    }
+        /// Statement-shaped soup: tokens that look like the grammar.
+        #[test]
+        fn statement_shaped_soup_never_panics(
+            target in "[A-Za-z][A-Za-z0-9]{0,6}",
+            op in prop::sample::select(vec![
+                "select", "project", "join", "union", "diff", "rename",
+                "bufferjoin", "knearest", "distance", "spatial", "garbage",
+            ]),
+            junk in "[A-Za-z0-9 ,<>=+*._\"()-]{0,60}",
+        ) {
+            let line = format!("{} = {} {}\n", target, op, junk);
+            let _ = parse_script(&line);
+        }
 
-    /// Numbers with every sign/fraction/decimal shape parse or error
-    /// cleanly inside conditions.
-    #[test]
-    fn numeric_condition_shapes(n in -9999i64..9999, d in 1i64..999, frac in 0u32..1_000_000u32) {
-        for lit in [
-            format!("{}", n),
-            format!("{}/{}", n, d),
-            format!("{}.{:06}", n.abs(), frac),
-            format!("-{}.{:06}", n.abs(), frac),
-        ] {
-            let src = format!("R = select x >= {} from T\n", lit);
-            prop_assert!(parse_script(&src).is_ok(), "literal {:?}", lit);
+        /// Cdb-shaped soup.
+        #[test]
+        fn cdb_shaped_soup_never_panics(
+            kw in prop::sample::select(vec!["relation", "tuple", "spatial"]),
+            name in "[A-Za-z][A-Za-z0-9]{0,6}",
+            body in "[A-Za-z0-9 ;:,<>=+*._\"()-]{0,80}",
+        ) {
+            let text = format!("{} {} {{ {} }}\n", kw, name, body);
+            let _ = parse_cdb(&text);
+        }
+
+        /// Numbers with every sign/fraction/decimal shape parse or error
+        /// cleanly inside conditions.
+        #[test]
+        fn numeric_condition_shapes(n in -9999i64..9999, d in 1i64..999, frac in 0u32..1_000_000u32) {
+            for lit in [
+                format!("{}", n),
+                format!("{}/{}", n, d),
+                format!("{}.{:06}", n.abs(), frac),
+                format!("-{}.{:06}", n.abs(), frac),
+            ] {
+                let src = format!("R = select x >= {} from T\n", lit);
+                prop_assert!(parse_script(&src).is_ok(), "literal {:?}", lit);
+            }
         }
     }
 }
+
 
 /// Deterministic torture inputs that previously looked risky.
 #[test]

@@ -25,6 +25,8 @@
 //! ```
 
 mod bigint;
+pub mod par;
+pub mod prng;
 mod rat;
 
 pub use bigint::{BigInt, ParseBigIntError, Sign};

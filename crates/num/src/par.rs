@@ -1,0 +1,167 @@
+//! A small deterministic data-parallel executor.
+//!
+//! CQA operators are embarrassingly parallel over their *outer* tuple
+//! vector: each input tuple contributes an independent slice of output
+//! tuples, and the serial evaluator simply concatenates those slices in
+//! input order. This module parallelizes exactly that shape while
+//! keeping the output **bit-identical** to the serial path:
+//!
+//! 1. the input slice is split into contiguous chunks;
+//! 2. a fixed pool of scoped threads (`std::thread::scope`, no external
+//!    dependencies) pulls chunk indices from an atomic work queue;
+//! 3. each chunk's results are buffered in a per-chunk slot;
+//! 4. the slots are concatenated **in chunk order**.
+//!
+//! Because chunks are contiguous and concatenation follows chunk order,
+//! the output sequence is the same for every thread count, including
+//! the `threads = 1` serial fast path (which spawns nothing at all).
+//!
+//! The executor lives in `cqa-num` — the root of the crate graph — so
+//! both `cqa-core` (algebra operators) and `cqa-spatial` (whole-feature
+//! operators) can share one implementation without a dependency cycle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work-queue chunks handed out per thread; > 1 so a slow chunk does not
+/// leave the other workers idle (cheap dynamic load balancing).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Below this many items the executor always runs serially: thread spawn
+/// costs more than the work. (The output is identical either way.)
+const MIN_PAR_ITEMS: usize = 16;
+
+/// Resolves a requested thread count: `0` means "use all hardware
+/// threads" (`std::thread::available_parallelism`), anything else is
+/// taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item and concatenates the produced vectors in
+/// input order, using up to `threads` worker threads.
+///
+/// Deterministic: the result is identical for every `threads` value.
+pub fn flat_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Vec<R> + Sync,
+{
+    run_chunks(items, threads, |chunk, out| {
+        for item in chunk {
+            out.extend(f(item));
+        }
+    })
+}
+
+/// Applies `f` to every item, preserving input order (one output per
+/// input), using up to `threads` worker threads.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_chunks(items, threads, |chunk, out| {
+        for item in chunk {
+            out.push(f(item));
+        }
+    })
+}
+
+/// Shared driver: contiguous chunks, an atomic queue, ordered collection.
+fn run_chunks<T, R, F>(items: &[T], threads: usize, body: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut Vec<R>) + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < MIN_PAR_ITEMS {
+        let mut out = Vec::new();
+        body(items, &mut out);
+        return out;
+    }
+
+    let chunk_size = n.div_ceil((threads * CHUNKS_PER_THREAD).min(n));
+    let chunks = n.div_ceil(chunk_size);
+    let queue = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<R>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let c = queue.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(n);
+                let mut out = Vec::new();
+                body(&items[lo..hi], &mut out);
+                // Sole writer for slot `c`; the lock is uncontended.
+                *slots[c].lock().expect("no worker panicked holding a slot") = out;
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("slot lock poisoned"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> =
+            items.iter().flat_map(|&x| vec![x * 3, x * 3 + 1]).collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let par = flat_map_chunks(&items, threads, |&x| vec![x * 3, x * 3 + 1]);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u32> = (0..500).collect();
+        for threads in [1, 2, 5, 8] {
+            let out = map_chunks(&items, threads, |&x| x + 1);
+            assert_eq!(out, (1..=500).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(flat_map_chunks(&empty, 8, |&x| vec![x]).is_empty());
+        assert_eq!(map_chunks(&[9u8], 8, |&x| x), vec![9]);
+    }
+
+    #[test]
+    fn uneven_output_sizes_keep_order() {
+        // Items emit variable-length runs; order must still be exact.
+        let items: Vec<usize> = (0..300).collect();
+        let expect: Vec<usize> =
+            items.iter().flat_map(|&x| std::iter::repeat(x).take(x % 5)).collect();
+        let got = flat_map_chunks(&items, 6, |&x| vec![x; x % 5]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

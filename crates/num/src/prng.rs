@@ -1,0 +1,199 @@
+//! Seeded pseudo-random number generation for workloads and tests.
+//!
+//! The §5.4 experiment protocol only needs reproducible uniform draws —
+//! coordinates in `[0, 3000]`, extents in `[1, 100]` — so the system
+//! carries its own tiny generators instead of an external crate:
+//!
+//! * [`SplitMix64`] — the Steele–Lea–Flood mixer; one multiply-xor-shift
+//!   pipeline per draw. Used to expand a single `u64` seed into the
+//!   larger state other generators need, and directly wherever a stream
+//!   of well-mixed words is all that is required.
+//! * [`Pcg32`] — O'Neill's PCG-XSH-RR 64/32: a 64-bit LCG whose output
+//!   is permuted down to 32 bits. Small, fast, and statistically solid
+//!   for everything a database benchmark asks of it.
+//!
+//! Both are deterministic functions of their seed on every platform, so
+//! any experiment or test that records its seed is exactly replayable.
+
+/// The SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The PCG-XSH-RR 64/32 generator (O'Neill, 2014).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector; must be odd.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator whose 128 bits of state (position + stream)
+    /// are expanded from `seed` via [`SplitMix64`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let state = mix.next_u64();
+        let inc = mix.next_u64() | 1;
+        let mut rng = Pcg32 { state: 0, inc };
+        // Standard PCG initialization: advance once with the increment
+        // folded in so nearby seeds do not start in nearby states.
+        rng.state = rng.state.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform draw from `[0, n)`. `n = 0` is a contract violation.
+    ///
+    /// Uses Lemire's multiply-shift reduction with a rejection loop, so
+    /// the result is exactly uniform, not merely modulo-folded.
+    pub fn gen_below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below_u64(0)");
+        // Rejection threshold: draws below `2^64 mod n` would be biased.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            let wide = (v as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, n)` as a `usize`.
+    pub fn gen_below_usize(&mut self, n: usize) -> usize {
+        self.gen_below_u64(n as u64) as usize
+    }
+
+    /// Uniform draw from the inclusive integer range `[lo, hi]`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            // Full-width range: every word is a valid draw.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.gen_below_u64(span + 1) as i64)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from the closed interval `[lo, hi]`.
+    ///
+    /// (The chance of hitting `hi` exactly is negligible but permitted,
+    /// matching the `[a, b]` phrasing of the §5.4 protocol.)
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567, from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+        assert_eq!(g.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a: Vec<u64> = {
+            let mut g = Pcg32::seed_from_u64(42);
+            (0..16).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Pcg32::seed_from_u64(42);
+            (0..16).map(|_| g.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = Pcg32::seed_from_u64(43);
+            (0..16).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = g.gen_below_u64(13);
+            assert!(v < 13);
+            let f = g.gen_range_f64(1.0, 100.0);
+            assert!((1.0..=100.0).contains(&f));
+            let i = g.gen_range_i64(-5, 5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut g = Pcg32::seed_from_u64(99);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[g.gen_below_usize(8)] += 1;
+        }
+        for &c in &counts {
+            // Mean 10,000; a fair generator stays well within ±5%.
+            assert!((9_500..10_500).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn full_range_draw_works() {
+        let mut g = Pcg32::seed_from_u64(3);
+        // Must not overflow the span computation.
+        let v = g.gen_range_i64(i64::MIN, i64::MAX);
+        let _ = v;
+    }
+}

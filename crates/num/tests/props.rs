@@ -1,6 +1,11 @@
 //! Property-based tests for `cqa-num`, using `i128` arithmetic as the
 //! oracle for values that fit, and algebraic laws for values that do not.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_num::{BigInt, Rat};
 use proptest::prelude::*;
 

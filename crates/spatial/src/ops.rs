@@ -16,6 +16,7 @@
 use crate::feature::Geometry;
 use crate::relation::SpatialRelation;
 use cqa_index::Rect;
+use cqa_num::par::map_chunks;
 use cqa_num::Rat;
 
 /// Result rows of a whole-feature operator, keyed by feature ID pairs.
@@ -30,28 +31,50 @@ pub fn min_dist2(a: &Geometry, b: &Geometry) -> Rat {
 /// `Buffer-Join(R₁, R₂, d)`: all pairs of features within distance `d`.
 ///
 /// Returns `(id₁, id₂)` pairs ordered by the relations' insertion order,
-/// plus the index accesses spent on the filter step.
+/// plus the index accesses spent on the filter step. Serial convenience
+/// wrapper over [`buffer_join_par`].
 pub fn buffer_join(r1: &SpatialRelation, r2: &SpatialRelation, d: &Rat) -> (IdPairs, u64) {
+    buffer_join_par(r1, r2, d, 1)
+}
+
+/// [`buffer_join`] with the outer feature loop spread over `threads`
+/// workers (`0` = all hardware threads).
+///
+/// Each outer feature's probe-and-refine step is independent; the chunked
+/// executor keeps outputs in outer insertion order, so the pair list is
+/// identical for every thread count. Access counts are summed, which is
+/// order-independent, so the reported total matches the serial run too.
+pub fn buffer_join_par(
+    r1: &SpatialRelation,
+    r2: &SpatialRelation,
+    d: &Rat,
+    threads: usize,
+) -> (IdPairs, u64) {
     assert!(!d.is_negative(), "buffer distance must be non-negative");
     let d2 = d * d;
     let df = d.to_f64() + 1e-9;
-    let mut out = Vec::new();
-    let mut accesses = 0;
-    for f1 in r1.features() {
+    let threads = cqa_num::par::effective_threads(threads);
+    let per_feature: Vec<(IdPairs, u64)> = map_chunks(r1.features(), threads, |f1| {
         // Filter: expand f1's box by d and probe r2's index.
         let (lo, hi) = f1.geom.bbox_f64();
         let probe = Rect::new([lo[0] - df, lo[1] - df], [hi[0] + df, hi[1] + df]);
-        let (cands, acc) = r2.candidates(&probe);
-        accesses += acc;
-        let mut cands = cands;
+        let (mut cands, acc) = r2.candidates(&probe);
         cands.sort_unstable();
+        let mut rows = Vec::new();
         for idx in cands {
             let f2 = r2.get(idx);
             // Refine: exact rational squared distance.
             if f1.geom.dist2(&f2.geom) <= d2 {
-                out.push((f1.id.clone(), f2.id.clone()));
+                rows.push((f1.id.clone(), f2.id.clone()));
             }
         }
+        (rows, acc)
+    });
+    let mut out = Vec::new();
+    let mut accesses = 0;
+    for (rows, acc) in per_feature {
+        out.extend(rows);
+        accesses += acc;
     }
     (out, accesses)
 }
@@ -60,20 +83,31 @@ pub fn buffer_join(r1: &SpatialRelation, r2: &SpatialRelation, d: &Rat) -> (IdPa
 /// features of `R₂` (exact squared-distance order; ties broken by id).
 ///
 /// When `R₂` has fewer than `k` features, all of them are returned.
+/// Serial convenience wrapper over [`k_nearest_par`].
 pub fn k_nearest(r1: &SpatialRelation, r2: &SpatialRelation, k: usize) -> IdPairs {
-    let mut out = Vec::new();
-    for f1 in r1.features() {
+    k_nearest_par(r1, r2, k, 1)
+}
+
+/// [`k_nearest`] with the outer feature loop spread over `threads`
+/// workers (`0` = all hardware threads). Pair order is identical for
+/// every thread count.
+pub fn k_nearest_par(
+    r1: &SpatialRelation,
+    r2: &SpatialRelation,
+    k: usize,
+    threads: usize,
+) -> IdPairs {
+    let threads = cqa_num::par::effective_threads(threads);
+    let per_feature: Vec<IdPairs> = map_chunks(r1.features(), threads, |f1| {
         let mut dists: Vec<(Rat, &str)> = r2
             .features()
             .iter()
             .map(|f2| (f1.geom.dist2(&f2.geom), f2.id.as_str()))
             .collect();
         dists.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
-        for (_, id2) in dists.into_iter().take(k) {
-            out.push((f1.id.clone(), id2.to_string()));
-        }
-    }
-    out
+        dists.into_iter().take(k).map(|(_, id2)| (f1.id.clone(), id2.to_string())).collect()
+    });
+    per_feature.into_iter().flatten().collect()
 }
 
 /// Index-accelerated `k-Nearest`: expands a search radius geometrically

@@ -1,6 +1,11 @@
 //! Property-based tests for the storage layer: codec framing, slotted
 //! pages, heap files, and buffer-pool transparency.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa_storage::codec::{Reader, Writer};
 use cqa_storage::{BufferPool, HeapFile, MemDisk, SlottedPage, PAGE_SIZE};
 use proptest::prelude::*;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (warnings-as-errors build + full test suite)
+# plus the parallel evaluator's determinism gate — the quick speedup grid
+# is run twice and the two RESULT_HASH lines must agree (and each run
+# already fails internally if any grid cell diverges).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (RUSTFLAGS=-D warnings) =="
+RUSTFLAGS="-D warnings" cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== parallel determinism gate: quick grid, twice =="
+out1=$(cargo run -q --release -p cqa-bench --bin parallel_speedup -- --quick --out /tmp/verify_parallel_1.json)
+echo "$out1"
+out2=$(cargo run -q --release -p cqa-bench --bin parallel_speedup -- --quick --out /tmp/verify_parallel_2.json)
+
+hash1=$(echo "$out1" | grep '^RESULT_HASH')
+hash2=$(echo "$out2" | grep '^RESULT_HASH')
+if [ "$hash1" != "$hash2" ]; then
+    echo "NONDETERMINISM across runs: '$hash1' vs '$hash2'" >&2
+    exit 1
+fi
+echo "determinism gate passed: $hash1 (stable across runs and grid cells)"
+echo "== verify OK =="

@@ -6,6 +6,11 @@
 //! Points are sampled from a small rational grid so boundaries (where
 //! strictness bugs live) are hit often.
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa::core::plan::{CmpOp, Selection};
 use cqa::core::{ops, AttrDef, HRelation, Schema, Tuple, Value};
 use cqa::num::Rat;

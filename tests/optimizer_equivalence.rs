@@ -4,6 +4,11 @@
 //! pushdown changes intermediate shapes — so equivalence is checked
 //! semantically, on a grid of sample points.)
 
+
+// Property suite: compiled only with `--features proptest` so the
+// offline tier-1 run stays lean; see third_party/README.md.
+#![cfg(feature = "proptest")]
+
 use cqa::core::plan::{CmpOp, Plan, Selection};
 use cqa::core::{exec, optimizer, AttrDef, Catalog, HRelation, Schema, Tuple, Value};
 use cqa::num::Rat;

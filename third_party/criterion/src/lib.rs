@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use, measuring with a plain monotonic-clock loop: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a short measurement window, and the mean/min wall-clock per
+//! iteration is printed. No statistics, no plots — just honest numbers
+//! with the upstream source-level interface, so the bench files compile
+//! unchanged against either implementation.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported name parity with `criterion::black_box`.
+///
+/// An identity function the optimizer must assume has side effects.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkLabel {
+    /// The printable name.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// The bench context: collects and prints timings.
+pub struct Criterion {
+    /// Target wall-clock spent measuring each benchmark.
+    window: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { window: Duration::from_secs(1), warmup: Duration::from_millis(200) }
+    }
+}
+
+fn run_one(name: &str, window: Duration, warmup: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: find an iteration count that fills the warm-up window.
+    let mut iters = 1u64;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+        if b.elapsed >= warmup || iters >= 1 << 40 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Measurement: a handful of samples sized to fill the window.
+    let sample_iters =
+        (window.as_nanos() / (5 * per_iter.as_nanos().max(1))).clamp(1, u64::MAX as u128) as u64;
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..5 {
+        let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per = b.elapsed.checked_div(sample_iters as u32).unwrap_or(Duration::ZERO);
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += sample_iters;
+    }
+    let mean = total.checked_div(total_iters as u32).unwrap_or(Duration::ZERO);
+    println!("bench: {name:<48} mean {mean:>12.3?}  min {best:>12.3?}");
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<L: IntoBenchmarkLabel>(
+        &mut self,
+        name: L,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into_label(), self.window, self.warmup, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value, criterion-style.
+    pub fn bench_with_input<I, L: IntoBenchmarkLabel>(
+        &mut self,
+        id: L,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.into_label(), self.window, self.warmup, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<L: IntoBenchmarkLabel>(
+        &mut self,
+        name: L,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into_label());
+        run_one(&label, self.parent.window, self.parent.warmup, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, L: IntoBenchmarkLabel>(
+        &mut self,
+        id: L,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.parent.window, self.parent.warmup, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion { window: Duration::from_millis(5), warmup: Duration::from_millis(1) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let mut c = Criterion { window: Duration::from_millis(2), warmup: Duration::from_millis(1) };
+        let mut g = c.benchmark_group("g");
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

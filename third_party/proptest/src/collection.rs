@@ -1,0 +1,70 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::from_seed(8);
+        let s = vec(0u8..5, 2..=6);
+        for _ in 0..200 {
+            let v = s.sample_value(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = vec(0u8..5, 3usize);
+        assert_eq!(exact.sample_value(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` property-testing harness.
+//!
+//! Implements the subset of the proptest 1.x source-level API this
+//! workspace's test suites use — the `proptest!` macro, `prop_assert*!`,
+//! `prop_oneof!`, the [`strategy::Strategy`] combinators, `any::<T>()`,
+//! regex-subset string strategies, and the `prop::{collection, option,
+//! sample}` modules — over a small deterministic RNG.
+//!
+//! Two deliberate simplifications versus upstream (documented in
+//! `third_party/README.md`): failing inputs are *reported, not shrunk*,
+//! and the RNG seed is a hash of the test's module path, so every run
+//! and every machine sees the same cases.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`: module shorthands.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample_value(&($strat), __rng);)+
+                    let __case_desc = {
+                        let mut parts: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                        $(parts.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));)+
+                        parts.join(", ")
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        Ok(result) => result.map_err(|e| e.with_context(&__case_desc)),
+                        Err(panic_payload) => {
+                            eprintln!("proptest case panicked with inputs: {}", __case_desc);
+                            ::std::panic::resume_unwind(panic_payload)
+                        }
+                    }
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: fails the
+/// current case (early-returns an `Err`) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with the comparison semantics of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(a, b)`, for completeness with the upstream prelude.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Picks among strategies, optionally weighted: `prop_oneof![s1, s2]` or
+/// `prop_oneof![3 => s1, 1 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,45 @@
+//! `Option` strategies (`prop::option::{of, weighted}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Some` with probability 1/2.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, some_probability: 0.5 }
+}
+
+/// `Some` with the given probability.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, some_probability }
+}
+
+/// See [`of`] / [`weighted`].
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.some_probability {
+            Some(self.inner.sample_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_probability_holds_roughly() {
+        let mut rng = TestRng::from_seed(10);
+        let s = weighted(0.9, 0u8..10);
+        let some = (0..1000).filter(|_| s.sample_value(&mut rng).is_some()).count();
+        assert!((850..=950).contains(&some), "got {some} Somes");
+    }
+}

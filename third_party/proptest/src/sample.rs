@@ -1,0 +1,76 @@
+//! Sampling strategies (`prop::sample::{select, Index}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Uniformly picks one of `items` per case.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select from empty list");
+    Select { items }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// A length-agnostic random index: resolved against a concrete length
+/// with [`Index::index`]. Generated via `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves to an index in `[0, len)`; `len` must be positive.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.raw % len as u64) as usize
+    }
+
+    /// Picks an element of `slice` (`None` when empty).
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn select_picks_members() {
+        let mut rng = TestRng::from_seed(2);
+        let s = select(vec!["a", "b", "c"]);
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&s.sample_value(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..100 {
+            let idx = any::<Index>().sample_value(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as a regex defining a string
+//! distribution. This shim supports the subset the workspace's tests
+//! use: literal characters, character classes `[a-z0-9…]` (with ranges
+//! and trailing-`-` literals), the `\PC` "any printable character"
+//! escape, and `{n}` / `{n,m}` repetition. Unsupported syntax panics at
+//! sample time, loudly, so silent distribution changes cannot creep in.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Item {
+    Literal(char),
+    /// Inclusive character ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    item: Item,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Item::Printable,
+                    other => panic!("unsupported \\P class {other:?} in {pattern:?}"),
+                },
+                Some(escaped) => Item::Literal(escaped),
+                None => panic!("dangling backslash in {pattern:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') => {
+                            // A range if between two chars; else literal.
+                            match (prev.take(), chars.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    assert!(lo <= hi, "inverted range in {pattern:?}");
+                                    ranges.push((lo, hi));
+                                }
+                                (p, _) => {
+                                    if let Some(p) = p {
+                                        ranges.push((p, p));
+                                    }
+                                    ranges.push(('-', '-'));
+                                }
+                            }
+                        }
+                        Some('\\') => {
+                            if let Some(p) = prev.replace(
+                                chars.next().unwrap_or_else(|| {
+                                    panic!("dangling backslash in class of {pattern:?}")
+                                }),
+                            ) {
+                                ranges.push((p, p));
+                            }
+                        }
+                        Some(member) => {
+                            if let Some(p) = prev.replace(member) {
+                                ranges.push((p, p));
+                            }
+                        }
+                        None => panic!("unterminated class in {pattern:?}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Item::Class(ranges)
+            }
+            '{' | '}' | '(' | ')' | '*' | '+' | '?' | '|' | '^' | '$' | '.' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?} (shim subset)")
+            }
+            literal => Item::Literal(literal),
+        };
+        // Optional repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(d) => spec.push(d),
+                    None => panic!("unterminated repetition in {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { item, min, max });
+    }
+    pieces
+}
+
+fn sample_printable(rng: &mut TestRng) -> char {
+    if rng.below(5) != 0 {
+        // Mostly ASCII printable: the interesting grammar collisions.
+        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii printable")
+    } else {
+        // Occasionally an arbitrary non-control scalar value.
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+fn sample_item(item: &Item, rng: &mut TestRng) -> char {
+    match item {
+        Item::Literal(c) => *c,
+        Item::Printable => sample_printable(rng),
+        Item::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = (*hi as u64 - *lo as u64) + 1;
+                if pick < size {
+                    // Skip the surrogate gap if a range happens to span it.
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .unwrap_or(char::REPLACEMENT_CHARACTER);
+                }
+                pick -= size;
+            }
+            unreachable!("class weights exhausted")
+        }
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min) as u64 + 1) as u32;
+        for _ in 0..count {
+            out.push(sample_item(&piece.item, rng));
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(21)
+    }
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "[A-Za-z0-9 ,<>=+*._\"()-]{0,60}".sample_value(&mut r);
+            assert!(s.chars().count() <= 60);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || " ,<>=+*._\"()-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identifier_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9]{0,6}".sample_value(&mut r);
+            assert!((1..=7).contains(&s.chars().count()));
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn printable_soup_has_no_controls() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "\\PC{0,120}".sample_value(&mut r);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn non_ascii_class_members() {
+        let mut r = rng();
+        let mut saw_umlaut = false;
+        for _ in 0..500 {
+            let s = "[a-zäöü]{1,4}".sample_value(&mut r);
+            if s.chars().any(|c| "äöü".contains(c)) {
+                saw_umlaut = true;
+            }
+            assert!(s.chars().all(|c| c.is_alphabetic()));
+        }
+        assert!(saw_umlaut);
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        assert_eq!("x{3}".sample_value(&mut r), "xxx");
+    }
+}

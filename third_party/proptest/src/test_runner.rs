@@ -1,0 +1,158 @@
+//! The case runner: configuration, the deterministic RNG, and failure
+//! reporting.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration. Only the field this workspace
+/// uses is carried.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Upstream-compatible alias (`proptest::test_runner::Config`).
+pub type Config = ProptestConfig;
+
+/// A failed test case (produced by `prop_assert*!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Attaches the sampled-input description to the failure.
+    pub fn with_context(mut self, inputs: &str) -> Self {
+        self.message = format!("{}\n  inputs: {}", self.message, inputs);
+        self
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic source of randomness strategies draw from
+/// (SplitMix64 under the hood).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let wide = (self.next_u64() as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: runs `case` for each of the configured cases
+/// with a deterministic RNG, panicking on the first failure.
+///
+/// `PROPTEST_CASES` (environment) overrides the configured case count;
+/// `PROPTEST_SEED` perturbs the per-test seed for exploration.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let perturb = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0u64);
+    let mut rng = TestRng::from_seed(fnv1a(test_name) ^ perturb);
+    for i in 0..cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("property {} failed at case {}/{}:\n  {}", test_name, i + 1, cases, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(5);
+        let mut b = TestRng::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        run_cases(ProptestConfig::with_cases(3), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
