@@ -75,7 +75,7 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &threads in &thread_axis {
         for filter in [false, true] {
-            let opts = ExecOptions { threads, bbox_filter: filter };
+            let opts = ExecOptions { threads, bbox_filter: filter, ..ExecOptions::default() };
             cells.push(run_cell(&left, &right, &opts, cfg.repeats));
         }
     }

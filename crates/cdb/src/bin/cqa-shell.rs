@@ -136,16 +136,20 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             println!("             drop NAME");
             println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT  \\trace STMT");
             println!("             \\set threads N  \\set filter on|off  \\set");
+            println!("             \\set timeout MS|off  \\set budget fm|dnf|tuples N|off");
+            println!("             \\stats governor");
             println!("             \\load FILE.cdb  \\save DIR  \\open DIR  \\quit");
         }
         "list" | "l" => {
             for name in runner.catalog().names() {
-                let rel = runner.catalog().get(name).expect("listed");
-                println!("{}  {} ({} tuples)", name, rel.schema(), rel.len());
+                if let Ok(rel) = runner.catalog().get(name) {
+                    println!("{}  {} ({} tuples)", name, rel.schema(), rel.len());
+                }
             }
             for name in runner.catalog().spatial_names() {
-                let rel = runner.catalog().get_spatial(name).expect("listed");
-                println!("{}  (spatial, {} features)", name, rel.len());
+                if let Ok(rel) = runner.catalog().get_spatial(name) {
+                    println!("{}  (spatial, {} features)", name, rel.len());
+                }
             }
         }
         "schema" => match runner.catalog().get(rest) {
@@ -224,7 +228,54 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
                     }
                     _ => eprintln!("\\set filter takes on|off"),
                 },
-                Some((other, _)) => eprintln!("unknown setting {:?} (threads, filter)", other),
+                Some(("timeout", v)) => match v {
+                    "off" => {
+                        opts.governor.timeout = None;
+                        runner.set_exec_options(opts);
+                    }
+                    _ => match v.parse::<u64>() {
+                        Ok(ms) => {
+                            opts.governor.timeout =
+                                Some(std::time::Duration::from_millis(ms));
+                            runner.set_exec_options(opts);
+                        }
+                        Err(_) => eprintln!("\\set timeout takes milliseconds or off"),
+                    },
+                },
+                Some(("budget", v)) => {
+                    let (which, amount) = match v.split_once(char::is_whitespace) {
+                        Some((w, a)) => (w, a.trim()),
+                        None => {
+                            eprintln!("usage: \\set budget fm|dnf|tuples N|off");
+                            return true;
+                        }
+                    };
+                    let parsed = match amount {
+                        "off" => Ok(None),
+                        _ => amount.parse::<u64>().map(Some).map_err(|_| ()),
+                    };
+                    match (which, parsed) {
+                        ("fm", Ok(n)) => {
+                            opts.governor.budgets.max_fm_atoms = n;
+                            runner.set_exec_options(opts);
+                        }
+                        ("dnf", Ok(n)) => {
+                            opts.governor.budgets.max_dnf_conjunctions = n;
+                            runner.set_exec_options(opts);
+                        }
+                        ("tuples", Ok(n)) => {
+                            opts.governor.budgets.max_output_tuples = n;
+                            runner.set_exec_options(opts);
+                        }
+                        (_, Err(())) => eprintln!("\\set budget takes a number or off"),
+                        (other, _) => {
+                            eprintln!("unknown budget {:?} (fm, dnf, tuples)", other)
+                        }
+                    }
+                }
+                Some((other, _)) => {
+                    eprintln!("unknown setting {:?} (threads, filter, timeout, budget)", other)
+                }
                 None if rest.is_empty() => {
                     let o = runner.exec_options();
                     println!(
@@ -233,10 +284,43 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
                         o.effective_threads(),
                         if o.bbox_filter { "on" } else { "off" }
                     );
+                    println!(
+                        "timeout = {}, budget fm = {}, budget dnf = {}, budget tuples = {}",
+                        fmt_timeout(o.governor.timeout),
+                        fmt_limit(o.governor.budgets.max_fm_atoms),
+                        fmt_limit(o.governor.budgets.max_dnf_conjunctions),
+                        fmt_limit(o.governor.budgets.max_output_tuples),
+                    );
                 }
-                None => eprintln!("usage: \\set threads N | \\set filter on|off | \\set"),
+                None => eprintln!(
+                    "usage: \\set threads N | \\set filter on|off | \\set timeout MS|off | \\set budget fm|dnf|tuples N|off | \\set"
+                ),
             }
         }
+        "stats" => match rest {
+            "governor" | "" => {
+                let o = runner.exec_options();
+                let stats = runner.exec_stats();
+                println!(
+                    "timeout = {}, budget fm = {}, budget dnf = {}, budget tuples = {}",
+                    fmt_timeout(o.governor.timeout),
+                    fmt_limit(o.governor.budgets.max_fm_atoms),
+                    fmt_limit(o.governor.budgets.max_dnf_conjunctions),
+                    fmt_limit(o.governor.budgets.max_output_tuples),
+                );
+                println!(
+                    "governor checks (last run) = {}, fm peak atoms = {}",
+                    o.governor.checks(),
+                    stats.fm_peak(),
+                );
+                println!(
+                    "bbox filter: {} checked, {} rejected",
+                    stats.checked(),
+                    stats.rejected(),
+                );
+            }
+            other => eprintln!("unknown stats {:?} (try \\stats governor)", other),
+        },
         "load" => match load_cdb(runner.catalog_mut(), rest) {
             Ok(()) => println!("loaded {}", rest),
             Err(e) => eprintln!("error: {}", e),
@@ -255,6 +339,20 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
         other => eprintln!("unknown meta command \\{} (try \\help)", other),
     }
     true
+}
+
+fn fmt_timeout(t: Option<std::time::Duration>) -> String {
+    match t {
+        Some(d) => format!("{} ms", d.as_millis()),
+        None => "off".into(),
+    }
+}
+
+fn fmt_limit(l: Option<u64>) -> String {
+    match l {
+        Some(n) => n.to_string(),
+        None => "off".into(),
+    }
 }
 
 fn stmt_query(

@@ -9,7 +9,7 @@
 
 use crate::assignment::Assignment;
 use crate::atom::{Atom, Rel};
-use crate::fourier_motzkin::{self, Eliminated};
+use crate::fourier_motzkin::{self, Eliminated, FmBudget, FmBudgetExceeded};
 use crate::interval::{Bound, Interval};
 use crate::linexpr::LinExpr;
 use crate::var::Var;
@@ -132,6 +132,22 @@ impl Conjunction {
         }
     }
 
+    /// [`Self::is_satisfiable`] under an elimination budget: the decision
+    /// still runs full variable elimination, but a blow-up surfaces as a
+    /// typed error instead of unbounded allocation.
+    pub fn is_satisfiable_budgeted(
+        &self,
+        budget: FmBudget<'_>,
+    ) -> Result<bool, FmBudgetExceeded> {
+        match fourier_motzkin::eliminate_budgeted(&self.atoms, &self.vars(), budget)? {
+            Eliminated::Atoms(rest) => {
+                debug_assert!(rest.is_empty(), "eliminating all vars leaves ground atoms only");
+                Ok(true)
+            }
+            Eliminated::Unsat => Ok(false),
+        }
+    }
+
     /// Projects out `vars`: returns a conjunction equivalent to
     /// `∃ vars . self` over the remaining variables.
     pub fn eliminate(&self, vars: impl IntoIterator<Item = Var>) -> Conjunction {
@@ -140,6 +156,19 @@ impl Conjunction {
             Eliminated::Atoms(atoms) => Conjunction { atoms },
             Eliminated::Unsat => Conjunction::falsum(),
         }
+    }
+
+    /// [`Self::eliminate`] under an elimination budget.
+    pub fn eliminate_budgeted(
+        &self,
+        vars: impl IntoIterator<Item = Var>,
+        budget: FmBudget<'_>,
+    ) -> Result<Conjunction, FmBudgetExceeded> {
+        let vars: BTreeSet<Var> = vars.into_iter().collect();
+        Ok(match fourier_motzkin::eliminate_budgeted(&self.atoms, &vars, budget)? {
+            Eliminated::Atoms(atoms) => Conjunction { atoms },
+            Eliminated::Unsat => Conjunction::falsum(),
+        })
     }
 
     /// Keeps only atoms over the given variables by eliminating all others.

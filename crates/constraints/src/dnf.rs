@@ -23,6 +23,27 @@ pub struct Dnf {
     conjs: Vec<Conjunction>,
 }
 
+/// A DNF expansion outgrew the caller's disjunct budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnfBudgetExceeded {
+    /// Disjunct count when the budget tripped.
+    pub conjunctions: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for DnfBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DNF expansion exceeded its disjunct budget ({} conjunctions, limit {})",
+            self.conjunctions, self.limit
+        )
+    }
+}
+
+impl std::error::Error for DnfBudgetExceeded {}
+
 impl Dnf {
     /// The unsatisfiable formula `false` (no disjuncts).
     pub fn fals() -> Dnf {
@@ -72,16 +93,36 @@ impl Dnf {
     /// Conjunction: the cross product of disjuncts, unsatisfiable products
     /// dropped eagerly.
     pub fn and(&self, other: &Dnf) -> Dnf {
+        // Without a cap `and_bounded` cannot fail.
+        self.and_bounded(other, None).unwrap_or_default()
+    }
+
+    /// [`Self::and`] with an optional cap on the surviving disjunct count;
+    /// exceeding it aborts the expansion with a typed error instead of
+    /// letting the cross product grow without bound.
+    pub fn and_bounded(
+        &self,
+        other: &Dnf,
+        max_conjs: Option<u64>,
+    ) -> Result<Dnf, DnfBudgetExceeded> {
         let mut out = Vec::new();
         for a in &self.conjs {
             for b in &other.conjs {
                 let c = a.and(b);
                 if !c.is_trivially_false() && c.is_satisfiable() {
                     out.push(c);
+                    if let Some(limit) = max_conjs {
+                        if out.len() as u64 > limit {
+                            return Err(DnfBudgetExceeded {
+                                conjunctions: out.len() as u64,
+                                limit,
+                            });
+                        }
+                    }
                 }
             }
         }
-        Dnf { conjs: out }
+        Ok(Dnf { conjs: out })
     }
 
     /// Negation, re-normalized to DNF.
@@ -92,29 +133,45 @@ impl Dnf {
     /// exactly why the paper treats the difference operator (the only CQA
     /// operator that needs negation) as the expensive one.
     pub fn negate(&self) -> Dnf {
+        self.negate_bounded(None).unwrap_or_default()
+    }
+
+    /// [`Self::negate`] with an optional cap on the intermediate disjunct
+    /// count (the exponential distribution step is checked after each
+    /// factor is multiplied in).
+    pub fn negate_bounded(&self, max_conjs: Option<u64>) -> Result<Dnf, DnfBudgetExceeded> {
         let mut acc = Dnf::tru();
         for c in &self.conjs {
             // ¬C = ∨_{atom a ∈ C} ¬a   (each ¬a is 1–2 atoms)
             let mut neg_c = Vec::new();
             if c.is_empty() {
-                return Dnf::fals(); // ¬true = false
+                return Ok(Dnf::fals()); // ¬true = false
             }
             for atom in c.atoms() {
                 for n in atom.negate() {
                     neg_c.push(Conjunction::from_atoms([n]));
                 }
             }
-            acc = acc.and(&Dnf::from_conjunctions(neg_c));
+            acc = acc.and_bounded(&Dnf::from_conjunctions(neg_c), max_conjs)?;
             if acc.is_empty() {
-                return acc;
+                return Ok(acc);
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Set difference `self ∧ ¬other`.
     pub fn minus(&self, other: &Dnf) -> Dnf {
         self.and(&other.negate())
+    }
+
+    /// [`Self::minus`] with an optional cap on intermediate disjunct counts.
+    pub fn minus_bounded(
+        &self,
+        other: &Dnf,
+        max_conjs: Option<u64>,
+    ) -> Result<Dnf, DnfBudgetExceeded> {
+        self.and_bounded(&other.negate_bounded(max_conjs)?, max_conjs)
     }
 
     /// Projects out `vars` from every disjunct (∃ distributes over ∨).
@@ -333,5 +390,23 @@ mod tests {
         assert_eq!(Dnf::fals().to_string(), "false");
         let d = Dnf::from_conjunction(between(x(), 0, 1));
         assert!(d.to_string().starts_with('('));
+    }
+
+    #[test]
+    fn bounded_ops_match_unbounded_under_generous_caps() {
+        let a = Dnf::from_conjunctions([between(x(), 0, 10), between(x(), 20, 30)]);
+        let b = Dnf::from_conjunction(between(x(), 3, 25));
+        assert_eq!(a.and_bounded(&b, Some(1000)), Ok(a.and(&b)));
+        assert_eq!(a.negate_bounded(Some(1000)), Ok(a.negate()));
+        assert_eq!(a.minus_bounded(&b, Some(1000)), Ok(a.minus(&b)));
+    }
+
+    #[test]
+    fn bounded_negation_trips_on_tight_cap() {
+        let a = Dnf::from_conjunctions([between(x(), 0, 1), between(x(), 3, 4), between(x(), 6, 7)]);
+        match a.negate_bounded(Some(1)) {
+            Err(DnfBudgetExceeded { conjunctions, limit: 1 }) => assert!(conjunctions > 1),
+            other => panic!("expected budget trip, got {:?}", other),
+        }
     }
 }

@@ -21,6 +21,56 @@ use crate::atom::{Atom, Rel};
 use crate::var::Var;
 use cqa_num::Rat;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Optional resource bounds for one elimination run.
+///
+/// Elimination can square the working system per variable; a budget turns
+/// that blow-up into a typed error instead of unbounded memory growth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FmBudget<'a> {
+    /// Abort when the working system holds more than this many atoms after
+    /// any variable has been eliminated (and pruned, when pruning is on).
+    pub max_atoms: Option<u64>,
+    /// If set, the peak working-system size is recorded here (`fetch_max`),
+    /// so callers can report how close a run came to its limit.
+    pub peak: Option<&'a AtomicU64>,
+}
+
+impl<'a> FmBudget<'a> {
+    /// Charges `atoms` against the budget, updating the peak gauge.
+    fn charge(&self, atoms: usize) -> Result<(), FmBudgetExceeded> {
+        let atoms = atoms as u64;
+        if let Some(peak) = self.peak {
+            peak.fetch_max(atoms, Ordering::Relaxed);
+        }
+        match self.max_atoms {
+            Some(limit) if atoms > limit => Err(FmBudgetExceeded { atoms, limit }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The intermediate system outgrew [`FmBudget::max_atoms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmBudgetExceeded {
+    /// Working-system size when the budget tripped.
+    pub atoms: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for FmBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "elimination exceeded its atom budget ({} atoms, limit {})",
+            self.atoms, self.limit
+        )
+    }
+}
+
+impl std::error::Error for FmBudgetExceeded {}
 
 /// Outcome of an elimination: either a (possibly empty) set of atoms over
 /// the remaining variables, or a proof that the input was unsatisfiable.
@@ -37,27 +87,50 @@ pub enum Eliminated {
 /// The result is a set of atoms over the remaining variables whose
 /// conjunction is equivalent to `∃ vars. ⋀ atoms`.
 pub fn eliminate(atoms: &BTreeSet<Atom>, vars: &BTreeSet<Var>) -> Eliminated {
-    eliminate_opt(atoms, vars, true)
+    infallible(eliminate_opt(atoms, vars, true, FmBudget::default()))
 }
 
 /// [`eliminate`] without the parallel-constraint pruning pass — the
 /// ablation baseline benchmarked in `cqa-bench`. Semantically equivalent,
 /// but intermediate conjunctions can grow quadratically per variable.
 pub fn eliminate_unpruned(atoms: &BTreeSet<Atom>, vars: &BTreeSet<Var>) -> Eliminated {
-    eliminate_opt(atoms, vars, false)
+    infallible(eliminate_opt(atoms, vars, false, FmBudget::default()))
 }
 
-fn eliminate_opt(atoms: &BTreeSet<Atom>, vars: &BTreeSet<Var>, prune: bool) -> Eliminated {
+/// [`eliminate`] under a resource budget: the working-system size is
+/// checked after every eliminated variable, so a blow-up surfaces as
+/// [`FmBudgetExceeded`] instead of unbounded allocation.
+pub fn eliminate_budgeted(
+    atoms: &BTreeSet<Atom>,
+    vars: &BTreeSet<Var>,
+    budget: FmBudget<'_>,
+) -> Result<Eliminated, FmBudgetExceeded> {
+    eliminate_opt(atoms, vars, true, budget)
+}
+
+/// An empty budget never trips, so `Err` is unreachable; fold it away
+/// without a panic path.
+fn infallible(r: Result<Eliminated, FmBudgetExceeded>) -> Eliminated {
+    r.unwrap_or(Eliminated::Unsat)
+}
+
+fn eliminate_opt(
+    atoms: &BTreeSet<Atom>,
+    vars: &BTreeSet<Var>,
+    prune: bool,
+    budget: FmBudget<'_>,
+) -> Result<Eliminated, FmBudgetExceeded> {
     let mut current: BTreeSet<Atom> = BTreeSet::new();
     for a in atoms {
         match a.ground_truth() {
             Some(true) => {}
-            Some(false) => return Eliminated::Unsat,
+            Some(false) => return Ok(Eliminated::Unsat),
             None => {
                 current.insert(a.clone());
             }
         }
     }
+    budget.charge(current.len())?;
     // Eliminate in an order that keeps intermediate growth small: at each
     // round pick the variable with the fewest lower×upper combinations.
     let mut remaining: BTreeSet<Var> = vars.clone();
@@ -66,13 +139,14 @@ fn eliminate_opt(atoms: &BTreeSet<Atom>, vars: &BTreeSet<Var>, prune: bool) -> E
         remaining.remove(&v);
         match eliminate_one(&current, v) {
             Eliminated::Atoms(next) => current = next,
-            Eliminated::Unsat => return Eliminated::Unsat,
+            Eliminated::Unsat => return Ok(Eliminated::Unsat),
         }
         if prune {
             current = prune_parallel(current);
         }
+        budget.charge(current.len())?;
     }
-    Eliminated::Atoms(current)
+    Ok(Eliminated::Atoms(current))
 }
 
 /// Chooses the variable whose elimination generates the fewest new atoms
@@ -381,6 +455,39 @@ mod tests {
         ]);
         let vars: BTreeSet<Var> = [x()].into_iter().collect();
         assert_eq!(eliminate_unpruned(&bad, &vars), Eliminated::Unsat);
+    }
+
+    #[test]
+    fn budget_trips_on_growth_and_records_peak() {
+        // A dense system whose unpruned elimination multiplies bounds.
+        let mut list = Vec::new();
+        for i in 0..6 {
+            list.push(Atom::ge(LinExpr::var(x()), LinExpr::constant_int(-i)));
+            list.push(Atom::le(
+                LinExpr::var(x()),
+                LinExpr::from_terms([(y(), ri(1))], ri(i)),
+            ));
+        }
+        let set = atoms(list);
+        let vars: BTreeSet<Var> = [x()].into_iter().collect();
+        let peak = AtomicU64::new(0);
+        // Generous budget: succeeds and matches the unbudgeted result.
+        let ok = eliminate_budgeted(
+            &set,
+            &vars,
+            FmBudget { max_atoms: Some(1000), peak: Some(&peak) },
+        );
+        assert_eq!(ok, Ok(eliminate(&set, &vars)));
+        assert!(peak.load(Ordering::Relaxed) >= set.len() as u64);
+        // A budget below the input size trips immediately.
+        let err = eliminate_budgeted(&set, &vars, FmBudget { max_atoms: Some(2), peak: None });
+        match err {
+            Err(FmBudgetExceeded { atoms, limit }) => {
+                assert!(atoms > limit);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected budget trip, got {:?}", other),
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ mod var;
 pub use assignment::Assignment;
 pub use atom::{Atom, Rel};
 pub use conj::Conjunction;
-pub use dnf::Dnf;
+pub use dnf::{Dnf, DnfBudgetExceeded};
+pub use fourier_motzkin::{FmBudget, FmBudgetExceeded};
 pub use interval::{Bound, Interval};
 pub use linexpr::LinExpr;
 pub use quickbox::QuickBox;

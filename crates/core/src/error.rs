@@ -29,6 +29,23 @@ pub enum CoreError {
     /// A predicate that references an attribute unusable in that position
     /// (e.g. a linear constraint over a string attribute).
     BadPredicate(String),
+    /// Evaluation observed a raised cancellation token. All partial output
+    /// was discarded, so a cancelled run leaves no trace of itself.
+    Cancelled,
+    /// The governor's wall-clock deadline passed mid-evaluation.
+    DeadlineExceeded,
+    /// A resource budget was exhausted; `used` is the demand that crossed
+    /// `limit`. Turns would-be memory blow-ups (DNF negation, FM
+    /// elimination, huge intermediates) into typed, recoverable errors.
+    BudgetExceeded {
+        /// Which budget tripped (`"fm atoms"`, `"dnf conjunctions"`,
+        /// `"output tuples"`).
+        what: &'static str,
+        /// The observed demand.
+        used: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,11 +69,34 @@ impl fmt::Display for CoreError {
                 write!(f, "unsafe operation (no closed-form output): {}", what)
             }
             CoreError::BadPredicate(what) => write!(f, "bad predicate: {}", what),
+            CoreError::Cancelled => f.write_str("execution cancelled"),
+            CoreError::DeadlineExceeded => f.write_str("execution deadline exceeded"),
+            CoreError::BudgetExceeded { what, used, limit } => {
+                write!(f, "{} budget exceeded ({} > {})", what, used, limit)
+            }
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+impl From<cqa_num::par::Cancelled> for CoreError {
+    fn from(_: cqa_num::par::Cancelled) -> CoreError {
+        CoreError::Cancelled
+    }
+}
+
+impl From<cqa_constraints::FmBudgetExceeded> for CoreError {
+    fn from(e: cqa_constraints::FmBudgetExceeded) -> CoreError {
+        CoreError::BudgetExceeded { what: "fm atoms", used: e.atoms, limit: e.limit }
+    }
+}
+
+impl From<cqa_constraints::DnfBudgetExceeded> for CoreError {
+    fn from(e: cqa_constraints::DnfBudgetExceeded) -> CoreError {
+        CoreError::BudgetExceeded { what: "dnf conjunctions", used: e.conjunctions, limit: e.limit }
+    }
+}
 
 /// Result alias for the query layer.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -34,6 +34,12 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
 
 /// Evaluates a plan with explicit execution options; bounding-box filter
 /// counters accumulate into `stats` across the whole plan.
+///
+/// The run is governed: the governor in `opts` is armed (deadline reset,
+/// token lowered) before evaluation, operators poll its token between
+/// chunks, and budget trips surface as typed errors. A run that fails
+/// mid-way returns `Err` with **no** partial output — callers registering
+/// results only on `Ok` observe all-or-nothing semantics.
 pub fn execute_opts(
     plan: &Plan,
     catalog: &Catalog,
@@ -41,6 +47,7 @@ pub fn execute_opts(
     stats: &ExecStats,
 ) -> Result<HRelation> {
     safety::check(plan)?;
+    opts.governor.arm();
     Ok(eval(plan, catalog, opts, stats)?.into_owned())
 }
 
@@ -57,6 +64,8 @@ pub struct TraceNode {
     pub filter_checked: u64,
     /// How many of those the filter rejected before exact arithmetic.
     pub filter_rejected: u64,
+    /// Peak intermediate Fourier–Motzkin atom count inside this node.
+    pub fm_peak_atoms: u64,
     /// Child traces in plan order.
     pub children: Vec<TraceNode>,
 }
@@ -78,6 +87,9 @@ impl TraceNode {
                 ", bbox filter {}/{} rejected",
                 self.filter_rejected, self.filter_checked
             );
+        }
+        if self.fm_peak_atoms > 0 {
+            let _ = write!(out, ", fm peak {} atom(s)", self.fm_peak_atoms);
         }
         let _ = writeln!(out, "]");
         for c in &self.children {
@@ -112,6 +124,7 @@ pub fn execute_traced_opts(
     opts: &ExecOptions,
 ) -> Result<(HRelation, TraceNode)> {
     safety::check(plan)?;
+    opts.governor.arm();
     let (rel, trace) = eval_traced(plan, catalog, opts)?;
     Ok((rel.into_owned(), trace))
 }
@@ -143,37 +156,44 @@ fn eval_traced<'a>(
             let rel = child(input)?;
             let t = std::time::Instant::now();
             let out = ops::select_opts(&rel, selection, opts, &stats)?;
-            return finish("Select".to_string(), out, t, &stats, children);
+            return finish("Select".to_string(), out, t, opts, &stats, children);
         }
         Plan::Project { input, attrs } => {
             let rel = child(input)?;
             let t = std::time::Instant::now();
-            let out = ops::project(&rel, attrs)?;
-            return finish(format!("Project on {}", attrs.join(", ")), out, t, &stats, children);
+            let out = ops::project_opts(&rel, attrs, opts, &stats)?;
+            return finish(
+                format!("Project on {}", attrs.join(", ")),
+                out,
+                t,
+                opts,
+                &stats,
+                children,
+            );
         }
         Plan::Join { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
             let out = ops::join_opts(&l, &r, opts, &stats)?;
-            return finish("Join".to_string(), out, t, &stats, children);
+            return finish("Join".to_string(), out, t, opts, &stats, children);
         }
         Plan::Union { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
             let out = ops::union(&l, &r)?;
-            return finish("Union".to_string(), out, t, &stats, children);
+            return finish("Union".to_string(), out, t, opts, &stats, children);
         }
         Plan::Difference { left, right } => {
             let (l, r) = (child(left)?, child(right)?);
             let t = std::time::Instant::now();
             let out = ops::difference_opts(&l, &r, opts, &stats)?;
-            return finish("Difference".to_string(), out, t, &stats, children);
+            return finish("Difference".to_string(), out, t, opts, &stats, children);
         }
         Plan::Rename { input, from, to } => {
             let rel = child(input)?;
             let t = std::time::Instant::now();
             let out = ops::rename(&rel, from, to)?;
-            return finish(format!("Rename {} -> {}", from, to), out, t, &stats, children);
+            return finish(format!("Rename {} -> {}", from, to), out, t, opts, &stats, children);
         }
         other @ (Plan::BufferJoin { .. } | Plan::KNearest { .. }) => {
             let out = eval(other, catalog, opts, &stats)?;
@@ -189,6 +209,7 @@ fn eval_traced<'a>(
         Plan::Distance { .. } => unreachable!("rejected by the safety check"),
     };
     let rows = rel.len();
+    opts.governor.guard_output(rows)?;
     Ok((
         rel,
         TraceNode {
@@ -197,6 +218,7 @@ fn eval_traced<'a>(
             elapsed: start.elapsed(),
             filter_checked: stats.checked(),
             filter_rejected: stats.rejected(),
+            fm_peak_atoms: stats.fm_peak(),
             children,
         },
     ))
@@ -206,10 +228,12 @@ fn finish<'a>(
     label: String,
     out: HRelation,
     since: std::time::Instant,
+    opts: &ExecOptions,
     stats: &ExecStats,
     children: Vec<TraceNode>,
 ) -> Result<(Cow<'a, HRelation>, TraceNode)> {
     let rows = out.len();
+    opts.governor.guard_output(rows)?;
     Ok((
         Cow::Owned(out),
         TraceNode {
@@ -218,6 +242,7 @@ fn finish<'a>(
             elapsed: since.elapsed(),
             filter_checked: stats.checked(),
             filter_rejected: stats.rejected(),
+            fm_peak_atoms: stats.fm_peak(),
             children,
         },
     ))
@@ -229,7 +254,7 @@ fn eval<'a>(
     opts: &ExecOptions,
     stats: &ExecStats,
 ) -> Result<Cow<'a, HRelation>> {
-    Ok(match plan {
+    let rel: Cow<'a, HRelation> = match plan {
         Plan::Scan(name) => Cow::Borrowed(catalog.get(name)?),
         Plan::SpatialScan(name) => Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
             catalog.get_spatial(name)?,
@@ -245,7 +270,7 @@ fn eval<'a>(
         }
         Plan::Project { input, attrs } => {
             let rel = eval(input, catalog, opts, stats)?;
-            Cow::Owned(ops::project(&rel, attrs)?)
+            Cow::Owned(ops::project_opts(&rel, attrs, opts, stats)?)
         }
         Plan::Join { left, right } => {
             let l = eval(left, catalog, opts, stats)?;
@@ -284,7 +309,11 @@ fn eval<'a>(
             )))
         }
         Plan::Distance { .. } => unreachable!("rejected by the safety check"),
-    })
+    };
+    // Every node — scans included — answers to the output-tuple budget:
+    // a governed run bounds its intermediates wherever they arise.
+    opts.governor.guard_output(rel.len())?;
+    Ok(rel)
 }
 
 /// Index-assisted selection over a base relation (the "through the use of
@@ -635,6 +664,81 @@ mod tests {
         let rel = cat.get("R").unwrap().clone();
         cat.register("R", rel);
         assert!(cat.indexes("R").is_empty());
+    }
+
+    #[test]
+    fn governor_trips_are_typed_errors() {
+        use crate::error::CoreError;
+        let cat = catalog();
+        let plan = Plan::scan("R").select(Selection::all().cmp_int("x", CmpOp::Ge, 0));
+
+        // Output-tuple budget: the scan node itself (2 tuples) exceeds 1.
+        let mut opts = ExecOptions::default();
+        opts.governor.budgets.max_output_tuples = Some(1);
+        assert!(matches!(
+            execute_opts(&plan, &cat, &opts, &ExecStats::new()),
+            Err(CoreError::BudgetExceeded { what: "output tuples", used: 2, limit: 1 })
+        ));
+
+        // An already-elapsed deadline: DeadlineExceeded on every thread count.
+        for threads in [1usize, 4] {
+            let mut opts = ExecOptions::with_threads(threads);
+            opts.governor.timeout = Some(std::time::Duration::ZERO);
+            assert_eq!(
+                execute_opts(&plan, &cat, &opts, &ExecStats::new()),
+                Err(CoreError::DeadlineExceeded),
+                "threads={}",
+                threads
+            );
+        }
+
+        // Deterministic cancellation at the first governor check.
+        let opts = ExecOptions::default();
+        opts.governor.trip_after(1);
+        assert_eq!(
+            execute_opts(&plan, &cat, &opts, &ExecStats::new()),
+            Err(CoreError::Cancelled)
+        );
+
+        // A generous governor changes nothing.
+        let mut opts = ExecOptions::default();
+        opts.governor.timeout = Some(std::time::Duration::from_secs(3600));
+        opts.governor.budgets.max_output_tuples = Some(1_000_000);
+        assert_eq!(
+            execute_opts(&plan, &cat, &opts, &ExecStats::new()).unwrap(),
+            execute(&plan, &cat).unwrap()
+        );
+    }
+
+    #[test]
+    fn fm_and_dnf_budgets_bound_the_expensive_operators() {
+        use crate::error::CoreError;
+        let cat = catalog();
+
+        // Projection eliminates x from 2-atom intervals; a 1-atom FM
+        // budget trips, a generous one records the peak instead.
+        let plan = Plan::scan("R").project(&["id"]);
+        let mut opts = ExecOptions::default();
+        opts.governor.budgets.max_fm_atoms = Some(1);
+        assert!(matches!(
+            execute_opts(&plan, &cat, &opts, &ExecStats::new()),
+            Err(CoreError::BudgetExceeded { what: "fm atoms", .. })
+        ));
+        let stats = ExecStats::new();
+        execute_opts(&plan, &cat, &ExecOptions::default(), &stats).unwrap();
+        assert!(stats.fm_peak() >= 2, "peak gauge saw the interval atoms");
+
+        // Difference's negation expansion answers to the DNF budget.
+        let plan = Plan::Difference {
+            left: Box::new(Plan::scan("R")),
+            right: Box::new(Plan::scan("R")),
+        };
+        let mut opts = ExecOptions::default();
+        opts.governor.budgets.max_dnf_conjunctions = Some(0);
+        assert!(matches!(
+            execute_opts(&plan, &cat, &opts, &ExecStats::new()),
+            Err(CoreError::BudgetExceeded { what: "dnf conjunctions", .. })
+        ));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod catalog;
 pub mod error;
 pub mod exec;
+pub mod governor;
 pub mod indefinite;
 pub mod ops;
 pub mod optimizer;
@@ -56,6 +57,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{CoreError, Result};
+pub use governor::{Budgets, Governor};
 pub use par::{ExecOptions, ExecStats};
 pub use plan::{Plan, Selection};
 pub use relation::HRelation;

@@ -12,7 +12,7 @@
 //! SQL's `EXCEPT`).
 
 use crate::error::Result;
-use crate::par::{flat_map_chunks, ExecOptions, ExecStats};
+use crate::par::{try_flat_map_chunks, ExecOptions, ExecStats};
 use crate::relation::HRelation;
 use crate::tuple::Tuple;
 use cqa_constraints::{Dnf, QuickBox};
@@ -52,8 +52,12 @@ pub fn difference_opts(
         .map(|rt| (rt, rt.constraint().quick_box(arity)))
         .collect();
 
-    let produced: Vec<Tuple> =
-        flat_map_chunks(left.tuples(), opts.effective_threads(), |lt| {
+    let governor = &opts.governor;
+    let produced: Vec<Result<Tuple>> =
+        try_flat_map_chunks(left.tuples(), opts.effective_threads(), Some(governor.token()), |lt| {
+            if let Err(e) = governor.check() {
+                return vec![Err(e)];
+            }
             // All right tuples whose relational part is identical.
             let matching: Vec<&(&Tuple, QuickBox)> =
                 rights.iter().filter(|(rt, _)| rt.values() == lt.values()).collect();
@@ -71,22 +75,30 @@ pub fn difference_opts(
                 matching.iter().map(|(rt, _)| *rt).collect()
             };
             if kept.is_empty() {
-                return vec![lt.clone()];
+                return vec![Ok(lt.clone())];
             }
             let minuend = Dnf::from_conjunction(lt.constraint().clone());
             let subtrahend =
                 Dnf::from_conjunctions(kept.iter().map(|rt| rt.constraint().clone()));
-            let remainder = minuend.minus(&subtrahend).normalize();
+            // The negation expansion is the algebra's exponential corner:
+            // the governor's DNF budget bounds it with a typed error.
+            let remainder = match minuend
+                .minus_bounded(&subtrahend, governor.budgets.max_dnf_conjunctions)
+            {
+                Ok(r) => r.normalize(),
+                Err(e) => return vec![Err(e.into())],
+            };
             remainder
                 .conjunctions()
                 .iter()
-                .map(|conj| Tuple::from_parts(lt.values().to_vec(), conj.clone()))
+                .map(|conj| Ok(Tuple::from_parts(lt.values().to_vec(), conj.clone())))
                 .collect()
-        });
+        })
+        .map_err(|_| governor.interrupt_error())?;
 
     let mut out = HRelation::new(left.schema().clone());
     for t in produced {
-        out.insert(t);
+        out.insert(t?);
     }
     out.dedup();
     Ok(out)

@@ -9,7 +9,7 @@
 //! (`t`, `x`, `y`) this way.
 
 use crate::error::Result;
-use crate::par::{flat_map_chunks, ExecOptions, ExecStats};
+use crate::par::{try_flat_map_chunks, ExecOptions, ExecStats};
 use crate::relation::{remap_vars, HRelation};
 use crate::schema::AttrKind;
 use crate::tuple::Tuple;
@@ -74,8 +74,12 @@ pub fn join_opts(
         })
         .collect();
 
-    let produced: Vec<Tuple> =
-        flat_map_chunks(left.tuples(), opts.effective_threads(), |lt| {
+    let governor = &opts.governor;
+    let produced: Vec<Result<Tuple>> =
+        try_flat_map_chunks(left.tuples(), opts.effective_threads(), Some(governor.token()), |lt| {
+            if let Err(e) = governor.check() {
+                return vec![Err(e)];
+            }
             // Left constraints already sit at output positions (the output
             // schema starts with the left schema), so one box per left
             // tuple serves every pair.
@@ -102,8 +106,13 @@ pub fn join_opts(
                 // (pre-remapped) right part is conjoined. Shared constraint
                 // attributes thereby intersect.
                 let conj = lt.constraint().and(rconj);
-                if !conj.is_satisfiable() {
-                    continue;
+                match conj.is_satisfiable_budgeted(governor.fm_budget(stats.fm_peak_cell())) {
+                    Ok(false) => continue,
+                    Ok(true) => {}
+                    Err(e) => {
+                        out.push(Err(e.into()));
+                        return out;
+                    }
                 }
                 // Values: left slots as-is, right non-shared appended.
                 let mut values = lt.values().to_vec();
@@ -113,14 +122,15 @@ pub fn join_opts(
                         values[oi] = rt.values()[ri].clone();
                     }
                 }
-                out.push(Tuple::from_parts(values, conj));
+                out.push(Ok(Tuple::from_parts(values, conj)));
             }
             out
-        });
+        })
+        .map_err(|_| governor.interrupt_error())?;
 
     let mut out = HRelation::new(out_schema);
     for t in produced {
-        out.insert(t);
+        out.insert(t?);
     }
     Ok(out)
 }

@@ -17,7 +17,7 @@ mod union;
 
 pub use difference::{difference, difference_opts};
 pub use join::{join, join_opts};
-pub use project::project;
+pub use project::{project, project_opts};
 pub use rename::rename;
 pub use select::{select, select_opts, CmpOp, Predicate, Selection};
 pub use union::union;

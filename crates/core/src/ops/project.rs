@@ -7,14 +7,31 @@
 //! safety requirement demands.
 
 use crate::error::Result;
+use crate::par::{ExecOptions, ExecStats};
 use crate::relation::{remap_vars, HRelation};
 use crate::schema::AttrKind;
 use crate::tuple::Tuple;
 use cqa_constraints::Var;
 
 /// Applies `π_X` with `X` given as attribute names (output order follows
-/// `names`).
+/// `names`), with default [`ExecOptions`].
 pub fn project(rel: &HRelation, names: &[String]) -> Result<HRelation> {
+    project_opts(rel, names, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// Applies `π_X` with explicit execution options.
+///
+/// Quantifier elimination is the operator's hot spot and its memory
+/// hazard: Fourier–Motzkin can square the atom count per eliminated
+/// variable. The loop consults the governor per tuple (cancellation,
+/// deadline) and runs each elimination under the governor's FM budget,
+/// recording the peak intermediate size into `stats`.
+pub fn project_opts(
+    rel: &HRelation,
+    names: &[String],
+    opts: &ExecOptions,
+    stats: &ExecStats,
+) -> Result<HRelation> {
     let schema = rel.schema();
     let out_schema = schema.project(names)?;
     let positions: Vec<usize> =
@@ -41,10 +58,14 @@ pub fn project(rel: &HRelation, names: &[String]) -> Result<HRelation> {
         .map(|(new, &old)| (schema.var(old), Var(new as u32)))
         .collect();
 
+    let governor = &opts.governor;
     let mut out = HRelation::new(out_schema);
     for tuple in rel.tuples() {
+        governor.check()?;
         let values = positions.iter().map(|&p| tuple.values()[p].clone()).collect();
-        let conj = tuple.constraint().eliminate(eliminate.iter().copied());
+        let conj = tuple
+            .constraint()
+            .eliminate_budgeted(eliminate.iter().copied(), governor.fm_budget(stats.fm_peak_cell()))?;
         if conj.is_trivially_false() {
             continue;
         }

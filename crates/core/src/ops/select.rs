@@ -17,7 +17,7 @@
 //! and `y` is constraint.
 
 use crate::error::{CoreError, Result};
-use crate::par::{map_chunks, ExecOptions, ExecStats};
+use crate::par::{try_map_chunks, ExecOptions, ExecStats};
 use crate::relation::HRelation;
 use crate::schema::{AttrKind, AttrType, Schema};
 use crate::tuple::Tuple;
@@ -234,8 +234,10 @@ pub fn select_opts(
     validate(rel.schema(), selection)?;
     let schema = rel.schema();
     let arity = schema.arity();
+    let governor = &opts.governor;
     let produced: Vec<Result<Option<Tuple>>> =
-        map_chunks(rel.tuples(), opts.effective_threads(), |tuple| {
+        try_map_chunks(rel.tuples(), opts.effective_threads(), Some(governor.token()), |tuple| {
+            governor.check()?;
             let mut residual: Conjunction = tuple.constraint().clone();
             for pred in selection.predicates() {
                 match apply_predicate(schema, tuple, pred)? {
@@ -255,12 +257,13 @@ pub fn select_opts(
                     return Ok(None);
                 }
             }
-            if residual.is_satisfiable() {
+            if residual.is_satisfiable_budgeted(governor.fm_budget(stats.fm_peak_cell()))? {
                 Ok(Some(Tuple::from_parts(tuple.values().to_vec(), residual)))
             } else {
                 Ok(None)
             }
-        });
+        })
+        .map_err(|_| governor.interrupt_error())?;
     let mut out = HRelation::new(schema.clone());
     for row in produced {
         if let Some(t) = row? {

@@ -17,12 +17,16 @@
 //! [`ExecStats`] counts filter consultations and rejections with atomics,
 //! so the same counters work unchanged under the parallel executor.
 
+use crate::governor::Governor;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-pub use cqa_num::par::{effective_threads, flat_map_chunks, map_chunks};
+pub use cqa_num::par::{
+    effective_threads, flat_map_chunks, map_chunks, try_flat_map_chunks, try_map_chunks,
+    CancelToken, Cancelled,
+};
 
 /// Evaluation knobs, threaded from the shell/driver down to operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for operator-level data parallelism; `0` means all
     /// hardware threads.
@@ -30,11 +34,14 @@ pub struct ExecOptions {
     /// Whether operators run the cheap bounding-box filter before exact
     /// constraint arithmetic.
     pub bbox_filter: bool,
+    /// Cancellation token, wall-clock deadline, and resource budgets.
+    /// Defaults to unlimited — a plain run never observes it.
+    pub governor: Governor,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 0, bbox_filter: true }
+        ExecOptions { threads: 0, bbox_filter: true, governor: Governor::default() }
     }
 }
 
@@ -42,7 +49,7 @@ impl ExecOptions {
     /// The pre-parallelism baseline: one thread, no filtering. Useful as
     /// the reference side of determinism checks and benchmarks.
     pub fn serial() -> ExecOptions {
-        ExecOptions { threads: 1, bbox_filter: false }
+        ExecOptions { threads: 1, bbox_filter: false, ..ExecOptions::default() }
     }
 
     /// Default options with an explicit thread count.
@@ -64,6 +71,9 @@ impl ExecOptions {
 pub struct ExecStats {
     filter_checked: AtomicU64,
     filter_rejected: AtomicU64,
+    /// Peak intermediate atom count seen by any Fourier–Motzkin
+    /// elimination (a gauge, combined by max rather than sum).
+    fm_peak_atoms: AtomicU64,
 }
 
 impl ExecStats {
@@ -90,10 +100,21 @@ impl ExecStats {
         self.filter_rejected.load(Ordering::Relaxed)
     }
 
-    /// Folds another counter set into this one.
+    /// Peak intermediate Fourier–Motzkin atom count observed so far.
+    pub fn fm_peak(&self) -> u64 {
+        self.fm_peak_atoms.load(Ordering::Relaxed)
+    }
+
+    /// The cell [`cqa_constraints::FmBudget`] records its peak into.
+    pub(crate) fn fm_peak_cell(&self) -> &AtomicU64 {
+        &self.fm_peak_atoms
+    }
+
+    /// Folds another counter set into this one (counters add, gauges max).
     pub fn absorb(&self, other: &ExecStats) {
         self.filter_checked.fetch_add(other.checked(), Ordering::Relaxed);
         self.filter_rejected.fetch_add(other.rejected(), Ordering::Relaxed);
+        self.fm_peak_atoms.fetch_max(other.fm_peak(), Ordering::Relaxed);
     }
 }
 
@@ -126,5 +147,15 @@ mod tests {
         t.absorb(&s);
         assert_eq!(t.checked(), 4);
         assert_eq!(t.rejected(), 3);
+    }
+
+    #[test]
+    fn fm_peak_is_a_gauge() {
+        let s = ExecStats::new();
+        s.fm_peak_cell().fetch_max(7, Ordering::Relaxed);
+        let t = ExecStats::new();
+        t.fm_peak_cell().fetch_max(3, Ordering::Relaxed);
+        t.absorb(&s);
+        assert_eq!(t.fm_peak(), 7, "absorb takes the max, not the sum");
     }
 }

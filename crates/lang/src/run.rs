@@ -17,12 +17,18 @@ pub struct ScriptRunner {
     catalog: Catalog,
     optimize: bool,
     exec_options: ExecOptions,
+    stats: ExecStats,
 }
 
 impl ScriptRunner {
     /// A runner over the given catalog.
     pub fn new(catalog: Catalog) -> ScriptRunner {
-        ScriptRunner { catalog, optimize: true, exec_options: ExecOptions::default() }
+        ScriptRunner {
+            catalog,
+            optimize: true,
+            exec_options: ExecOptions::default(),
+            stats: ExecStats::new(),
+        }
     }
 
     /// Disables the optimizer (for tests and ablation benchmarks).
@@ -36,9 +42,16 @@ impl ScriptRunner {
         &self.exec_options
     }
 
-    /// Replaces the execution options (thread count, bbox filter).
+    /// Replaces the execution options (thread count, bbox filter,
+    /// governor timeout and budgets).
     pub fn set_exec_options(&mut self, opts: ExecOptions) {
         self.exec_options = opts;
+    }
+
+    /// Execution statistics accumulated across every query this runner has
+    /// run (filter counters, FM peak gauge).
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.stats
     }
 
     /// The underlying catalog (intermediates included).
@@ -70,8 +83,12 @@ impl ScriptRunner {
                     } else {
                         plan
                     };
+                    // The `?` below is the all-or-nothing anchor: on any
+                    // execution error (including governor cancellation) the
+                    // target is never registered, so the catalog is exactly
+                    // as if the statement had not run.
                     let result =
-                        exec::execute_opts(&plan, &self.catalog, &self.exec_options, &ExecStats::new())
+                        exec::execute_opts(&plan, &self.catalog, &self.exec_options, &self.stats)
                             .map_err(|e| LangError::new(*line, 1, e.to_string()))?;
                     self.catalog.register(target.clone(), result.clone());
                     last = Some(result);

@@ -20,8 +20,56 @@
 //! both `cqa-core` (algebra operators) and `cqa-spatial` (whole-feature
 //! operators) can share one implementation without a dependency cycle.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared cancellation flag, cloneable across threads.
+///
+/// Workers poll the token **between chunks** (never mid-item), so a
+/// cancelled run stops at a chunk boundary; the executor then discards
+/// every partial slot and reports [`Cancelled`], which keeps cancelled
+/// runs deterministic — the caller sees either the complete result or
+/// nothing, regardless of thread count or where the flag was raised.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Lowers the flag again (used when re-arming a governor between
+    /// sequential runs that share one token).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+/// The run observed a raised [`CancelToken`]; all partial output was
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("execution cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Work-queue chunks handed out per thread; > 1 so a slow chunk does not
 /// leave the other workers idle (cheap dynamic load balancing).
@@ -52,11 +100,8 @@ where
     R: Send,
     F: Fn(&T) -> Vec<R> + Sync,
 {
-    run_chunks(items, threads, |chunk, out| {
-        for item in chunk {
-            out.extend(f(item));
-        }
-    })
+    // Without a token `run_chunks` cannot report `Cancelled`.
+    try_flat_map_chunks(items, threads, None, f).unwrap_or_default()
 }
 
 /// Applies `f` to every item, preserving input order (one output per
@@ -67,7 +112,48 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    run_chunks(items, threads, |chunk, out| {
+    try_map_chunks(items, threads, None, f).unwrap_or_default()
+}
+
+/// [`flat_map_chunks`] with an optional cancellation token.
+///
+/// Workers poll `token` between chunks and stop pulling work once it is
+/// raised; if the token is raised at any point before the run completes
+/// its final chunk, every partial slot is discarded and `Err(Cancelled)`
+/// is returned. Equal inputs produce equal results for every thread
+/// count — cancelled runs produce nothing at all.
+pub fn try_flat_map_chunks<T, R, F>(
+    items: &[T],
+    threads: usize,
+    token: Option<&CancelToken>,
+    f: F,
+) -> Result<Vec<R>, Cancelled>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Vec<R> + Sync,
+{
+    run_chunks(items, threads, token, |chunk, out| {
+        for item in chunk {
+            out.extend(f(item));
+        }
+    })
+}
+
+/// [`map_chunks`] with an optional cancellation token (see
+/// [`try_flat_map_chunks`] for the cancellation contract).
+pub fn try_map_chunks<T, R, F>(
+    items: &[T],
+    threads: usize,
+    token: Option<&CancelToken>,
+    f: F,
+) -> Result<Vec<R>, Cancelled>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_chunks(items, threads, token, |chunk, out| {
         for item in chunk {
             out.push(f(item));
         }
@@ -75,21 +161,40 @@ where
 }
 
 /// Shared driver: contiguous chunks, an atomic queue, ordered collection.
-fn run_chunks<T, R, F>(items: &[T], threads: usize, body: F) -> Vec<R>
+fn run_chunks<T, R, F>(
+    items: &[T],
+    threads: usize,
+    token: Option<&CancelToken>,
+    body: F,
+) -> Result<Vec<R>, Cancelled>
 where
     T: Sync,
     R: Send,
     F: Fn(&[T], &mut Vec<R>) + Sync,
 {
+    let tripped = || token.is_some_and(|t| t.is_cancelled());
     let n = items.len();
-    let threads = threads.max(1).min(n.max(1));
+    if n == 0 {
+        return if tripped() { Err(Cancelled) } else { Ok(Vec::new()) };
+    }
+    let threads = threads.max(1).min(n);
+    let chunk_size = n.div_ceil((threads * CHUNKS_PER_THREAD).min(n));
     if threads == 1 || n < MIN_PAR_ITEMS {
         let mut out = Vec::new();
-        body(items, &mut out);
-        return out;
+        if token.is_some() {
+            // Same polling granularity as the parallel path: between chunks.
+            for chunk in items.chunks(chunk_size) {
+                if tripped() {
+                    return Err(Cancelled);
+                }
+                body(chunk, &mut out);
+            }
+        } else {
+            body(items, &mut out);
+        }
+        return if tripped() { Err(Cancelled) } else { Ok(out) };
     }
 
-    let chunk_size = n.div_ceil((threads * CHUNKS_PER_THREAD).min(n));
     let chunks = n.div_ceil(chunk_size);
     let queue = AtomicUsize::new(0);
     let slots: Vec<Mutex<Vec<R>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
@@ -97,6 +202,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if tripped() {
+                    break;
+                }
                 let c = queue.fetch_add(1, Ordering::Relaxed);
                 if c >= chunks {
                     break;
@@ -111,11 +219,16 @@ where
         }
     });
 
+    // A token raised mid-run means some chunks were skipped: discard all
+    // partial output so the caller never observes a truncated result.
+    if tripped() {
+        return Err(Cancelled);
+    }
     let mut out = Vec::with_capacity(n);
     for slot in slots {
         out.extend(slot.into_inner().expect("slot lock poisoned"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -163,5 +276,47 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_err_for_every_thread_count() {
+        let items: Vec<u32> = (0..200).collect();
+        for threads in [1, 2, 4, 8] {
+            let token = CancelToken::new();
+            token.cancel();
+            let got = try_map_chunks(&items, threads, Some(&token), |&x| x);
+            assert_eq!(got, Err(Cancelled), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_discards_partial_output() {
+        use std::sync::atomic::AtomicU64;
+        let items: Vec<u32> = (0..512).collect();
+        for threads in [1, 3, 8] {
+            let token = CancelToken::new();
+            let seen = AtomicU64::new(0);
+            // Trip the token from inside the workload after ~32 items.
+            let got = try_map_chunks(&items, threads, Some(&token), |&x| {
+                if seen.fetch_add(1, Ordering::Relaxed) == 32 {
+                    token.cancel();
+                }
+                x
+            });
+            assert_eq!(got, Err(Cancelled), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn untripped_token_matches_tokenless_run() {
+        let items: Vec<u32> = (0..300).collect();
+        let token = CancelToken::new();
+        let plain = map_chunks(&items, 4, |&x| x * 2);
+        let tokened = try_map_chunks(&items, 4, Some(&token), |&x| x * 2).unwrap();
+        assert_eq!(plain, tokened);
+        assert!(!token.is_cancelled());
+        token.cancel();
+        token.reset();
+        assert!(!token.is_cancelled());
     }
 }

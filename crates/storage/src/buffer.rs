@@ -8,8 +8,8 @@
 //! configuration the paper's experiments correspond to.
 
 use crate::disk::DiskManager;
-use crate::page::{PageId, PAGE_SIZE};
-use crate::Result;
+use crate::page::{PageId, SlottedPage, PAGE_SIZE};
+use crate::{Result, StorageError};
 use std::collections::HashMap;
 
 /// Counters of buffer-pool traffic.
@@ -21,6 +21,60 @@ pub struct AccessStats {
     pub physical: u64,
     /// Dirty pages written back.
     pub writebacks: u64,
+    /// Transient I/O errors retried (with backoff) before succeeding or
+    /// giving up.
+    pub io_retries: u64,
+    /// Checksum failures answered by evicting the bytes and rereading once.
+    pub corrupt_rereads: u64,
+}
+
+/// Disk reads/writes are attempted this many times in total; only
+/// [`StorageError::Io`] is considered transient and retried.
+const IO_ATTEMPTS: u32 = 3;
+
+/// Exponential backoff before retry `attempt` (1-based): 1ms, 2ms, …
+fn backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1u64 << (attempt - 1).min(4))
+}
+
+/// Reads a page with bounded retry on transient I/O errors.
+fn read_with_retry<D: DiskManager>(
+    disk: &mut D,
+    stats: &mut AccessStats,
+    id: PageId,
+    buf: &mut [u8],
+) -> Result<()> {
+    let mut attempt = 1;
+    loop {
+        match disk.read(id, buf) {
+            Err(StorageError::Io(_)) if attempt < IO_ATTEMPTS => {
+                stats.io_retries += 1;
+                std::thread::sleep(backoff(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Writes a page with bounded retry on transient I/O errors.
+fn write_with_retry<D: DiskManager>(
+    disk: &mut D,
+    stats: &mut AccessStats,
+    id: PageId,
+    buf: &[u8],
+) -> Result<()> {
+    let mut attempt = 1;
+    loop {
+        match disk.write(id, buf) {
+            Err(StorageError::Io(_)) if attempt < IO_ATTEMPTS => {
+                stats.io_retries += 1;
+                std::thread::sleep(backoff(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 struct Frame {
@@ -38,20 +92,47 @@ pub struct BufferPool<D: DiskManager> {
     capacity: usize,
     clock: u64,
     stats: AccessStats,
+    checksums: bool,
 }
 
 impl<D: DiskManager> BufferPool<D> {
-    /// Creates a pool caching at most `capacity` pages.
+    /// Creates a pool caching at most `capacity` pages (a capacity of 0 is
+    /// clamped to 1 frame rather than panicking).
     pub fn new(disk: D, capacity: usize) -> BufferPool<D> {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
             disk,
             frames: Vec::new(),
             map: HashMap::new(),
-            capacity,
+            capacity: capacity.max(1),
             clock: 0,
             stats: AccessStats::default(),
+            checksums: false,
         }
+    }
+
+    /// Enables per-page CRC maintenance: pages are sealed
+    /// ([`SlottedPage::seal`]) on writeback and verified on every physical
+    /// read; a mismatch is answered by one reread (graceful degradation
+    /// against read-side corruption) before failing with
+    /// [`StorageError::Corrupt`].
+    ///
+    /// Only valid for pools holding slotted pages — raw-byte page users
+    /// (e.g. the paged R\*-tree) own bytes 4..8 themselves and must leave
+    /// this off.
+    pub fn with_checksums(mut self) -> BufferPool<D> {
+        self.checksums = true;
+        self
+    }
+
+    /// Whether per-page CRC maintenance is on.
+    pub fn checksums_enabled(&self) -> bool {
+        self.checksums
+    }
+
+    /// The underlying disk manager (e.g. to inspect fault-injection
+    /// counters mid-run).
+    pub fn disk(&self) -> &D {
+        &self.disk
     }
 
     /// Access statistics so far.
@@ -91,7 +172,10 @@ impl<D: DiskManager> BufferPool<D> {
     pub fn flush(&mut self) -> Result<()> {
         for frame in &mut self.frames {
             if frame.dirty {
-                self.disk.write(frame.id, &frame.data[..])?;
+                if self.checksums {
+                    SlottedPage::seal(&mut frame.data[..]);
+                }
+                write_with_retry(&mut self.disk, &mut self.stats, frame.id, &frame.data[..])?;
                 frame.dirty = false;
                 self.stats.writebacks += 1;
             }
@@ -107,6 +191,21 @@ impl<D: DiskManager> BufferPool<D> {
         Ok(())
     }
 
+    /// Reads `id` from disk into `data`, verifying the checksum when
+    /// enabled. A mismatch evicts the bytes and rereads once — a read-side
+    /// bit flip heals; persistent corruption fails with a typed error.
+    fn read_verified(&mut self, id: PageId, data: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        read_with_retry(&mut self.disk, &mut self.stats, id, &mut data[..])?;
+        if self.checksums && !SlottedPage::verify_checksum(&data[..]) {
+            self.stats.corrupt_rereads += 1;
+            read_with_retry(&mut self.disk, &mut self.stats, id, &mut data[..])?;
+            if !SlottedPage::verify_checksum(&data[..]) {
+                return Err(StorageError::corrupt_page(id, "page checksum mismatch"));
+            }
+        }
+        Ok(())
+    }
+
     fn fetch(&mut self, id: PageId) -> Result<usize> {
         self.clock += 1;
         self.stats.logical += 1;
@@ -116,24 +215,30 @@ impl<D: DiskManager> BufferPool<D> {
         }
         self.stats.physical += 1;
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        self.disk.read(id, &mut data[..])?;
+        self.read_verified(id, &mut data)?;
         let idx = if self.frames.len() < self.capacity {
             self.frames.push(Frame { id, data, dirty: false, last_used: self.clock });
             self.frames.len() - 1
         } else {
-            // Evict the least recently used frame.
+            // Evict the least recently used frame. `frames` is nonempty
+            // here (len == capacity ≥ 1), so fall back to frame 0 rather
+            // than carrying a panic path.
             let victim = self
                 .frames
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .expect("capacity > 0");
-            let old = &mut self.frames[victim];
-            if old.dirty {
-                self.disk.write(old.id, &old.data[..])?;
+                .unwrap_or(0);
+            if self.frames[victim].dirty {
+                if self.checksums {
+                    SlottedPage::seal(&mut self.frames[victim].data[..]);
+                }
+                let (old_id, stats) = (self.frames[victim].id, &mut self.stats);
+                write_with_retry(&mut self.disk, stats, old_id, &self.frames[victim].data[..])?;
                 self.stats.writebacks += 1;
             }
+            let old = &mut self.frames[victim];
             self.map.remove(&old.id);
             *old = Frame { id, data, dirty: false, last_used: self.clock };
             victim

@@ -90,7 +90,7 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
-            return Err(StorageError::Corrupt("truncated record"));
+            return Err(StorageError::corrupt("truncated record"));
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -130,7 +130,7 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<&'a str> {
-        std::str::from_utf8(self.bytes()?).map_err(|_| StorageError::Corrupt("invalid utf-8"))
+        std::str::from_utf8(self.bytes()?).map_err(|_| StorageError::corrupt("invalid utf-8"))
     }
 
     /// Whether the whole buffer was consumed.

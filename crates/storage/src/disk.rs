@@ -71,7 +71,7 @@ impl FileDisk {
         let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(StorageError::Corrupt("file length not page aligned"));
+            return Err(StorageError::corrupt("file length not page aligned"));
         }
         Ok(FileDisk { file, pages: len / PAGE_SIZE as u64 })
     }

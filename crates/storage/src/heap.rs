@@ -58,7 +58,9 @@ impl HeapFile {
                 SlottedPage::new(&mut buf).fits(record.len())
             })?;
             if fits {
-                let slot = pool.with_page_mut(last, |data| SlottedPage::new(data).insert(record))??;
+                let slot = pool
+                    .with_page_mut(last, |data| SlottedPage::new(data).insert(record))?
+                    .map_err(|e| e.at_page(last))?;
                 return Ok(Rid { page: last, slot });
             }
         }
@@ -66,7 +68,9 @@ impl HeapFile {
         pool.with_page_mut(page, |data| {
             SlottedPage::init(data);
         })?;
-        let slot = pool.with_page_mut(page, |data| SlottedPage::new(data).insert(record))??;
+        let slot = pool
+            .with_page_mut(page, |data| SlottedPage::new(data).insert(record))?
+            .map_err(|e| e.at_page(page))?;
         self.pages.push(page);
         Ok(Rid { page, slot })
     }

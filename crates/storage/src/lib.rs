@@ -16,11 +16,13 @@
 pub mod buffer;
 pub mod codec;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 
 pub use buffer::{AccessStats, BufferPool};
 pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use fault::{FaultConfig, FaultCounts, FaultyDisk};
 pub use heap::{HeapFile, Rid};
 pub use page::{PageId, SlottedPage, PAGE_SIZE};
 
@@ -37,8 +39,36 @@ pub enum StorageError {
     BadRid(heap::Rid),
     /// A record too large to fit a page.
     RecordTooLarge(usize),
-    /// Malformed bytes during decoding.
-    Corrupt(&'static str),
+    /// Malformed bytes during decoding, with the offending page when known.
+    Corrupt {
+        /// The page the corruption was detected on, when attributable.
+        page: Option<PageId>,
+        /// What was malformed.
+        what: &'static str,
+    },
+}
+
+impl StorageError {
+    /// Corruption not (yet) attributable to a specific page.
+    pub fn corrupt(what: &'static str) -> StorageError {
+        StorageError::Corrupt { page: None, what }
+    }
+
+    /// Corruption detected on a specific page.
+    pub fn corrupt_page(page: PageId, what: &'static str) -> StorageError {
+        StorageError::Corrupt { page: Some(page), what }
+    }
+
+    /// Attributes a page-less corruption error to `id` (callers that know
+    /// which page produced the bytes use this to make reports actionable).
+    pub fn at_page(self, id: PageId) -> StorageError {
+        match self {
+            StorageError::Corrupt { page: None, what } => {
+                StorageError::Corrupt { page: Some(id), what }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -50,7 +80,10 @@ impl fmt::Display for StorageError {
             StorageError::RecordTooLarge(n) => {
                 write!(f, "record of {} bytes exceeds page capacity", n)
             }
-            StorageError::Corrupt(what) => write!(f, "corrupt data: {}", what),
+            StorageError::Corrupt { page: Some(p), what } => {
+                write!(f, "corrupt data on page {}: {}", p.0, what)
+            }
+            StorageError::Corrupt { page: None, what } => write!(f, "corrupt data: {}", what),
         }
     }
 }

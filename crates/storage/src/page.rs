@@ -5,20 +5,71 @@
 //! ```text
 //! 0..2    number of slots (u16)
 //! 2..4    offset of the start of the record area (u16, grows downward)
-//! 4..     slot directory: per slot, record offset (u16) and length (u16);
-//!         a slot with offset 0 is a tombstone (page offsets < 4 are
+//! 4..8    page checksum (u32 LE): CRC-32 (IEEE) of the page with these
+//!         four bytes treated as zero; the stored value 0 means "unsealed"
+//!         (a computed CRC of 0 is stored as 0xFFFF_FFFF to stay distinct)
+//! 8..     slot directory: per slot, record offset (u16) and length (u16);
+//!         a slot with offset 0 is a tombstone (page offsets < 8 are
 //!         impossible for live records)
 //! ...     free space
 //! ...     records, packed against the end of the page
 //! ```
+//!
+//! The checksum is maintained by checksummed [`BufferPool`](crate::BufferPool)s
+//! on writeback; an all-zeros or freshly `init`ed page verifies trivially.
 
 use crate::{Result, StorageError};
 
 /// Size of every page in bytes. Chosen to match a common filesystem block.
 pub const PAGE_SIZE: usize = 4096;
 
-const HDR: usize = 4;
+const HDR: usize = 8;
 const SLOT: usize = 4;
+const CRC_START: usize = 4;
+const CRC_END: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` with the checksum field (bytes 4..8) treated as zero.
+fn page_crc(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut step = |byte: u8| {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    };
+    for (i, &b) in data.iter().enumerate() {
+        if (CRC_START..CRC_END).contains(&i) {
+            step(0);
+        } else {
+            step(b);
+        }
+    }
+    !crc
+}
+
+/// The stored encoding of a computed CRC: `0` is reserved for "unsealed",
+/// so a computed CRC of 0 is stored as `0xFFFF_FFFF`.
+fn encode_crc(crc: u32) -> u32 {
+    if crc == 0 {
+        0xFFFF_FFFF
+    } else {
+        crc
+    }
+}
 
 /// Identifier of a page within a disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,11 +89,34 @@ impl<'a> SlottedPage<'a> {
         SlottedPage { data }
     }
 
-    /// Formats the page as empty.
+    /// Formats the page as empty (and unsealed).
     pub fn init(data: &mut [u8]) {
         debug_assert_eq!(data.len(), PAGE_SIZE);
         data[0..2].copy_from_slice(&0u16.to_le_bytes());
         data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        data[CRC_START..CRC_END].copy_from_slice(&0u32.to_le_bytes());
+    }
+
+    /// Stamps the page's checksum field so [`Self::verify_checksum`] can
+    /// detect torn writes and bit flips. Called by checksummed buffer
+    /// pools on writeback; only meaningful for slotted pages (raw-byte
+    /// page users own bytes 4..8 themselves).
+    pub fn seal(data: &mut [u8]) {
+        let crc = encode_crc(page_crc(data));
+        data[CRC_START..CRC_END].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Whether the page's stored checksum matches its contents. An
+    /// unsealed page (stored checksum 0, e.g. all-zeros or freshly
+    /// `init`ed) verifies trivially.
+    pub fn verify_checksum(data: &[u8]) -> bool {
+        let stored = u32::from_le_bytes([
+            data[CRC_START],
+            data[CRC_START + 1],
+            data[CRC_START + 2],
+            data[CRC_START + 3],
+        ]);
+        stored == 0 || stored == encode_crc(page_crc(data))
     }
 
     fn read_u16(&self, at: usize) -> u16 {
@@ -89,7 +163,7 @@ impl<'a> SlottedPage<'a> {
             return Err(StorageError::RecordTooLarge(record.len()));
         }
         if !self.fits(record.len()) {
-            return Err(StorageError::Corrupt("insert into full page"));
+            return Err(StorageError::corrupt("insert into full page"));
         }
         let slot = self.slot_count();
         let new_start = self.record_start() - record.len();
@@ -114,7 +188,13 @@ impl<'a> SlottedPage<'a> {
             return None;
         }
         let len = self.read_u16(dir + 2) as usize;
-        Some(&self.data[off..off + len])
+        // A corrupt directory entry must not panic: treat out-of-range
+        // records (overrunning the page or reaching into the header) as
+        // absent; checksummed pools catch the corruption before this.
+        if off < HDR {
+            return None;
+        }
+        self.data.get(off..off + len)
     }
 
     /// Tombstones the record in `slot`. The space is not reclaimed (classic
@@ -181,7 +261,7 @@ mod tests {
             p.insert(&rec).unwrap();
             n += 1;
         }
-        // 4096 - 4 header = 4092; each record costs 104 → 39 records.
+        // 4096 - 8 header = 4088; each record costs 104 → 39 records.
         assert_eq!(n, (PAGE_SIZE - HDR) / (rec.len() + SLOT));
         assert!(p.insert(&rec).is_err());
         // All still readable.
@@ -215,5 +295,64 @@ mod tests {
         let mut p = SlottedPage::new(&mut data);
         let s = p.insert(b"").unwrap();
         assert_eq!(p.get(s), Some(&b""[..]));
+    }
+
+    #[test]
+    fn checksum_seal_verify_and_tamper() {
+        let mut data = empty_page();
+        SlottedPage::new(&mut data).insert(b"payload").unwrap();
+        // Unsealed pages verify trivially.
+        assert!(SlottedPage::verify_checksum(&data));
+        SlottedPage::seal(&mut data);
+        assert!(SlottedPage::verify_checksum(&data));
+        // Any single-bit flip outside the checksum field is detected.
+        data[PAGE_SIZE - 1] ^= 0x40;
+        assert!(!SlottedPage::verify_checksum(&data));
+        data[PAGE_SIZE - 1] ^= 0x40;
+        assert!(SlottedPage::verify_checksum(&data));
+        // A flipped checksum byte is detected too.
+        data[5] ^= 0x01;
+        assert!(!SlottedPage::verify_checksum(&data));
+    }
+
+    #[test]
+    fn checksum_detects_torn_tail() {
+        let mut before = empty_page();
+        SlottedPage::new(&mut before).insert(&[1u8; 2000]).unwrap();
+        SlottedPage::seal(&mut before);
+        let mut after = before.clone();
+        SlottedPage::new(&mut after).insert(&[2u8; 1500]).unwrap();
+        SlottedPage::seal(&mut after);
+        // Torn write: new header/prefix, stale tail.
+        let mut torn = after.clone();
+        torn[1024..].copy_from_slice(&before[1024..]);
+        assert!(!SlottedPage::verify_checksum(&torn));
+    }
+
+    #[test]
+    fn all_zero_page_verifies() {
+        let data = vec![0u8; PAGE_SIZE];
+        assert!(SlottedPage::verify_checksum(&data));
+    }
+
+    #[test]
+    fn corrupt_directory_reads_as_absent() {
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let s = p.insert(b"victim").unwrap();
+        // Point the slot past the end of the page.
+        let dir = HDR + s as usize * SLOT;
+        data[dir..dir + 2].copy_from_slice(&((PAGE_SIZE - 2) as u16).to_le_bytes());
+        data[dir + 2..dir + 4].copy_from_slice(&100u16.to_le_bytes());
+        let p = SlottedPage::new(&mut data);
+        assert_eq!(p.get(s), None, "overrunning record must not panic");
+        // Point it into the header.
+        let mut data = empty_page();
+        let mut p = SlottedPage::new(&mut data);
+        let s = p.insert(b"victim").unwrap();
+        let dir = HDR + s as usize * SLOT;
+        data[dir..dir + 2].copy_from_slice(&2u16.to_le_bytes());
+        let p = SlottedPage::new(&mut data);
+        assert_eq!(p.get(s), None, "header-pointing record must not panic");
     }
 }

@@ -24,4 +24,8 @@ if [ "$hash1" != "$hash2" ]; then
     exit 1
 fi
 echo "determinism gate passed: $hash1 (stable across runs and grid cells)"
+
+echo "== fault-matrix gate: injected storage faults stay typed =="
+cargo run -q --release -p cqa-bench --bin fault_matrix | tail -2
+
 echo "== verify OK =="

@@ -51,11 +51,11 @@ fn runner_with(opts: ExecOptions) -> ScriptRunner {
 fn hurricane_queries_identical_across_thread_counts() {
     for (i, script) in HURRICANE_QUERIES.iter().enumerate() {
         for filter in [false, true] {
-            let baseline = runner_with(ExecOptions { threads: 1, bbox_filter: filter })
+            let baseline = runner_with(ExecOptions { threads: 1, bbox_filter: filter, ..ExecOptions::default() })
                 .run(script)
                 .unwrap();
             for threads in [2usize, 4, 7] {
-                let out = runner_with(ExecOptions { threads, bbox_filter: filter })
+                let out = runner_with(ExecOptions { threads, bbox_filter: filter, ..ExecOptions::default() })
                     .run(script)
                     .unwrap();
                 assert_eq!(
@@ -79,8 +79,8 @@ fn hurricane_filter_is_invisible_without_difference() {
         if i == 3 {
             continue;
         }
-        let off = runner_with(ExecOptions { threads: 1, bbox_filter: false }).run(script).unwrap();
-        let on = runner_with(ExecOptions { threads: 1, bbox_filter: true }).run(script).unwrap();
+        let off = runner_with(ExecOptions { threads: 1, bbox_filter: false, ..ExecOptions::default() }).run(script).unwrap();
+        let on = runner_with(ExecOptions { threads: 1, bbox_filter: true, ..ExecOptions::default() }).run(script).unwrap();
         assert_eq!(off, on, "query {} changed under the bbox filter", i + 1);
     }
 }
@@ -88,8 +88,8 @@ fn hurricane_filter_is_invisible_without_difference() {
 #[test]
 fn hurricane_query4_filter_preserves_semantics() {
     let script = HURRICANE_QUERIES[3];
-    let off = runner_with(ExecOptions { threads: 1, bbox_filter: false }).run(script).unwrap();
-    let on = runner_with(ExecOptions { threads: 1, bbox_filter: true }).run(script).unwrap();
+    let off = runner_with(ExecOptions { threads: 1, bbox_filter: false, ..ExecOptions::default() }).run(script).unwrap();
+    let on = runner_with(ExecOptions { threads: 1, bbox_filter: true, ..ExecOptions::default() }).run(script).unwrap();
     // Same point sets, whatever the syntax: B and C hit, A not.
     for id in ["A", "B", "C"] {
         assert_eq!(
@@ -128,7 +128,7 @@ fn random_joins_identical_across_threads_and_filter() {
         let base = join_opts(&left, &right, &ExecOptions::serial(), &ExecStats::new()).unwrap();
         for threads in [1usize, 2, 4, 8] {
             for filter in [false, true] {
-                let opts = ExecOptions { threads, bbox_filter: filter };
+                let opts = ExecOptions { threads, bbox_filter: filter, ..ExecOptions::default() };
                 let out = join_opts(&left, &right, &opts, &ExecStats::new()).unwrap();
                 assert_eq!(base, out, "seed={} threads={} filter={}", seed, threads, filter);
             }
@@ -143,7 +143,7 @@ fn random_selects_identical_across_threads_and_filter() {
     let base = select_opts(&rel, &sel, &ExecOptions::serial(), &ExecStats::new()).unwrap();
     for threads in [1usize, 2, 4, 8] {
         for filter in [false, true] {
-            let opts = ExecOptions { threads, bbox_filter: filter };
+            let opts = ExecOptions { threads, bbox_filter: filter, ..ExecOptions::default() };
             let out = select_opts(&rel, &sel, &opts, &ExecStats::new()).unwrap();
             assert_eq!(base, out, "threads={} filter={}", threads, filter);
         }
@@ -174,12 +174,12 @@ fn random_differences_identical_across_threads() {
         let base = difference_opts(
             &left,
             &right,
-            &ExecOptions { threads: 1, bbox_filter: filter },
+            &ExecOptions { threads: 1, bbox_filter: filter, ..ExecOptions::default() },
             &ExecStats::new(),
         )
         .unwrap();
         for threads in [2usize, 4, 8] {
-            let opts = ExecOptions { threads, bbox_filter: filter };
+            let opts = ExecOptions { threads, bbox_filter: filter, ..ExecOptions::default() };
             let out = difference_opts(&left, &right, &opts, &ExecStats::new()).unwrap();
             assert_eq!(base, out, "threads={} filter={}", threads, filter);
         }
