@@ -1,0 +1,308 @@
+//! Observability-layer harness: overhead gate, golden metrics snapshot,
+//! and the §5-style index experiment, with per-operator breakdowns.
+//!
+//! Three jobs in one binary:
+//!
+//! * **Overhead gate** — the instrumented evaluator with metrics *enabled*
+//!   must stay within 3% of the same evaluator with metrics *disabled* on
+//!   the seeded bench join (disabled short-circuits to the pre-existing
+//!   per-run atomics, i.e. the seed's cost). Interleaved A/B repeats,
+//!   median-vs-median.
+//! * **Golden snapshot** (`--golden`) — runs a fixed seeded workload
+//!   (algebra + indexed selection + faulty buffer pool) against a reset
+//!   registry and prints `Snapshot::canonical()`: counter/gauge values and
+//!   histogram counts only, no timings, so the output is bit-stable and
+//!   diffable in CI.
+//! * **§5 index experiment** — the same box selections answered through a
+//!   joint 2-D `[x, y]` index vs. two separate 1-D indexes, comparing
+//!   R\*-tree node accesses and refinement candidates (the paper's
+//!   multi-attribute-indexing lesson).
+//!
+//! Usage: `obs_bench [--quick] [--gate] [--golden] [--out PATH]`
+
+use cqa::core::plan::{CmpOp, Plan, Selection};
+use cqa::core::{exec, AttrDef, Catalog, ExecOptions, ExecStats, HRelation, Schema};
+use cqa::num::prng::Pcg32;
+use cqa::obs::json::Json;
+use cqa::storage::fault::FaultKind;
+use cqa::storage::{BufferPool, FaultConfig, FaultyDisk, MemDisk};
+use std::time::Instant;
+
+const SEED: u64 = 0x0B5E_7B5E;
+const OVERHEAD_LIMIT: f64 = 1.03;
+
+fn main() {
+    let mut quick = false;
+    let mut golden = false;
+    let mut gate = false;
+    let mut out_path = String::from("BENCH_obs.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--golden" => golden = true,
+            "--gate" => gate = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: obs_bench [--quick] [--gate] [--golden] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {:?}", other);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if golden {
+        print!("{}", golden_snapshot());
+        return;
+    }
+
+    let (n, repeats) = if quick { (150, 3) } else { (400, 5) };
+    println!("# obs_bench ({}): seed {:#x}", if quick { "quick" } else { "full" }, SEED);
+
+    let (ratio, med_on, med_off) = overhead_gate(n, repeats);
+    println!(
+        "OVERHEAD_RATIO {:.4} (metrics on {:.2} ms vs off {:.2} ms, median of {})",
+        ratio, med_on, med_off, repeats
+    );
+    let pass = ratio <= OVERHEAD_LIMIT;
+    println!("OVERHEAD_GATE {}", if pass { "PASS" } else { "FAIL" });
+    if gate && !pass {
+        eprintln!("metrics-enabled overhead {:.2}% exceeds the 3% budget", (ratio - 1.0) * 100.0);
+        std::process::exit(1);
+    }
+
+    let index_expt = index_experiment(if quick { 500 } else { 2000 });
+    let breakdown = operator_breakdown(n);
+
+    let mut doc = vec![
+        ("benchmark".to_string(), Json::str("obs_bench")),
+        ("mode".to_string(), Json::str(if quick { "quick" } else { "full" })),
+        ("seed".to_string(), Json::from_u64(SEED)),
+        ("overhead".to_string(), Json::Obj(vec![
+            ("metrics_on_ms".to_string(), Json::Num(med_on)),
+            ("metrics_off_ms".to_string(), Json::Num(med_off)),
+            ("ratio".to_string(), Json::Num((ratio * 1e4).round() / 1e4)),
+            ("limit".to_string(), Json::Num(OVERHEAD_LIMIT)),
+            ("pass".to_string(), Json::Bool(pass)),
+        ])),
+    ];
+    doc.push(("index_experiment".to_string(), index_expt));
+    doc.push(("explain_analyze".to_string(), breakdown));
+    let json = Json::Obj(doc).render();
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("cannot write {}: {}", out_path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path);
+}
+
+/// Seeded 1-D interval relation, the bench-join workload family.
+fn interval_relation(id_attr: &str, n: usize, seed: u64) -> HRelation {
+    let schema =
+        Schema::new(vec![AttrDef::str_rel(id_attr), AttrDef::rat_con("x")]).expect("valid schema");
+    let mut rel = HRelation::new(schema);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    for i in 0..n {
+        let lo = rng.gen_range_i64(0, 3000);
+        let w = rng.gen_range_i64(1, 100);
+        rel.insert_with(|b| {
+            b.set(id_attr, format!("{}{}", id_attr, i).as_str()).range("x", lo, lo + w)
+        })
+        .expect("valid tuple");
+    }
+    rel
+}
+
+/// Seeded 2-D box relation for the index experiment and golden workload.
+fn box_relation(n: usize, seed: u64) -> HRelation {
+    let schema = Schema::new(vec![
+        AttrDef::str_rel("id"),
+        AttrDef::rat_con("x"),
+        AttrDef::rat_con("y"),
+    ])
+    .expect("valid schema");
+    let mut rel = HRelation::new(schema);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    for i in 0..n {
+        let (lx, ly) = (rng.gen_range_i64(0, 1000), rng.gen_range_i64(0, 1000));
+        let (w, h) = (rng.gen_range_i64(1, 20), rng.gen_range_i64(1, 20));
+        rel.insert_with(|b| {
+            b.set("id", format!("t{}", i).as_str())
+                .range("x", lx, lx + w)
+                .range("y", ly, ly + h)
+        })
+        .expect("valid tuple");
+    }
+    rel
+}
+
+/// Interleaved A/B medians of the seeded join with metrics on vs. off.
+fn overhead_gate(n: usize, repeats: usize) -> (f64, f64, f64) {
+    let mut cat = Catalog::new();
+    cat.register("L", interval_relation("aid", n, SEED));
+    cat.register("R", interval_relation("bid", n, SEED ^ 0x9E37_79B9));
+    let plan = Plan::scan("L").join(Plan::scan("R"));
+    let opts = ExecOptions::default();
+
+    let run_once = |enabled: bool| -> f64 {
+        cqa::obs::set_metrics_enabled(enabled);
+        let stats = ExecStats::new();
+        let t = Instant::now();
+        let out = exec::execute_opts(&plan, &cat, &opts, &stats).expect("join succeeds");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(out.len());
+        ms
+    };
+    // Warm-up both paths once, then interleave measurements so drift hits
+    // both sides equally.
+    run_once(true);
+    run_once(false);
+    let mut on = Vec::with_capacity(repeats);
+    let mut off = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        on.push(run_once(true));
+        off.push(run_once(false));
+    }
+    cqa::obs::set_metrics_enabled(true);
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let (m_on, m_off) = (med(&mut on), med(&mut off));
+    ((m_on / m_off).max(0.0), m_on, m_off)
+}
+
+/// §5-style experiment: the same bounded selections through a joint 2-D
+/// index vs. two separate 1-D indexes, node accesses and refinement
+/// candidates compared.
+fn index_experiment(n: usize) -> Json {
+    let rel = box_relation(n, SEED ^ 0x51);
+    let mut joint = Catalog::new();
+    joint.register("R", rel.clone());
+    joint.build_index("R", &["x", "y"]).expect("joint index");
+    let mut separate = Catalog::new();
+    separate.register("R", rel.clone());
+    separate.build_index("R", &["x"]).expect("x index");
+    separate.build_index("R", &["y"]).expect("y index");
+
+    let mut rng = Pcg32::seed_from_u64(SEED ^ 0x52);
+    let mut queries = Vec::new();
+    for _ in 0..20 {
+        let (qx, qy) = (rng.gen_range_i64(0, 900), rng.gen_range_i64(0, 900));
+        let (w, h) = (rng.gen_range_i64(20, 120), rng.gen_range_i64(20, 120));
+        queries.push(
+            Selection::all()
+                .cmp_int("x", CmpOp::Ge, qx)
+                .cmp_int("x", CmpOp::Le, qx + w)
+                .cmp_int("y", CmpOp::Ge, qy)
+                .cmp_int("y", CmpOp::Le, qy + h),
+        );
+    }
+
+    let run = |cat: &Catalog| -> (u64, u64, usize) {
+        let stats = ExecStats::new();
+        let mut rows = 0usize;
+        for sel in &queries {
+            let plan = Plan::scan("R").select(sel.clone());
+            let out = exec::execute_opts(&plan, cat, &ExecOptions::default(), &stats)
+                .expect("selection succeeds");
+            rows += out.len();
+        }
+        (stats.index_accesses(), stats.checked(), rows)
+    };
+    let (joint_accesses, joint_candidates, joint_rows) = run(&joint);
+    let (sep_accesses, sep_candidates, sep_rows) = run(&separate);
+    assert_eq!(joint_rows, sep_rows, "index choice must not change results");
+
+    println!(
+        "index experiment: joint [x, y] {} node accesses / {} candidates; separate 1-D {} node accesses / {} candidates ({} queries, {} rows)",
+        joint_accesses, joint_candidates, sep_accesses, sep_candidates, queries.len(), joint_rows
+    );
+    Json::Obj(vec![
+        ("tuples".to_string(), Json::from_u64(n as u64)),
+        ("queries".to_string(), Json::from_u64(queries.len() as u64)),
+        ("result_rows".to_string(), Json::from_u64(joint_rows as u64)),
+        ("joint_xy".to_string(), Json::Obj(vec![
+            ("node_accesses".to_string(), Json::from_u64(joint_accesses)),
+            ("refinement_candidates".to_string(), Json::from_u64(joint_candidates)),
+        ])),
+        ("separate_1d".to_string(), Json::Obj(vec![
+            ("node_accesses".to_string(), Json::from_u64(sep_accesses)),
+            ("refinement_candidates".to_string(), Json::from_u64(sep_candidates)),
+        ])),
+    ])
+}
+
+/// Per-operator breakdown: the bench join + projection, traced, as JSON.
+fn operator_breakdown(n: usize) -> Json {
+    let mut cat = Catalog::new();
+    cat.register("L", interval_relation("aid", n, SEED));
+    cat.register("R", interval_relation("bid", n, SEED ^ 0x9E37_79B9));
+    let plan = Plan::scan("L").join(Plan::scan("R")).project(&["x"]);
+    let (_, trace) =
+        exec::execute_traced_opts(&plan, &cat, &ExecOptions::default(), &ExecStats::new())
+            .expect("traced join succeeds");
+    trace.to_json()
+}
+
+/// The fixed golden workload: algebra (join, project, select, difference),
+/// index-assisted selection, and a faulty buffer pool, against a freshly
+/// reset registry. Prints only order- and timing-independent values.
+fn golden_snapshot() -> String {
+    cqa::obs::reset_metrics();
+    cqa::obs::set_metrics_enabled(true);
+
+    // Algebra with an index: counters are identical for every thread count
+    // (the determinism contract), so the snapshot pins threads = 2 only to
+    // prove the point.
+    let mut cat = Catalog::new();
+    cat.register("L", interval_relation("aid", 120, SEED));
+    cat.register("R", interval_relation("bid", 120, SEED ^ 0x9E37_79B9));
+    cat.register("B", box_relation(300, SEED ^ 0x51));
+    cat.build_index("B", &["x", "y"]).expect("index");
+    let opts = ExecOptions::with_threads(2);
+    let run = |cat: &Catalog, plan: &Plan| {
+        exec::execute_opts(plan, cat, &opts, &ExecStats::new()).expect("golden query succeeds")
+    };
+    run(&cat, &Plan::scan("L").join(Plan::scan("R")).project(&["x"]));
+    run(
+        &cat,
+        &Plan::scan("B").select(
+            Selection::all()
+                .cmp_int("x", CmpOp::Ge, 100)
+                .cmp_int("x", CmpOp::Le, 400)
+                .cmp_int("y", CmpOp::Ge, 100)
+                .cmp_int("y", CmpOp::Le, 400),
+        ),
+    );
+    run(&cat, &Plan::scan("L").minus(Plan::scan("L")));
+
+    // Storage: seeded faulty disk under a tiny pool — hits, misses,
+    // writebacks, retried I/O errors, and checksum rereads all fire
+    // deterministically from the seed.
+    let disk = FaultyDisk::new(MemDisk::new(), FaultConfig::only(13, FaultKind::IoError, 0.15));
+    let mut pool = BufferPool::new(disk, 2).with_checksums();
+    let mut pages = Vec::new();
+    for _ in 0..6 {
+        pages.push(pool.allocate().expect("allocate"));
+    }
+    for (i, &p) in pages.iter().enumerate() {
+        pool.with_page_mut(p, |bytes| bytes[64] = i as u8).expect("write");
+    }
+    pool.flush().expect("flush");
+    pool.clear().expect("clear");
+    for &p in &pages {
+        pool.with_page(p, |_| ()).expect("read");
+    }
+
+    cqa::obs::snapshot().canonical()
+}

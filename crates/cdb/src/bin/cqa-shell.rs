@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Meta-commands: `\list` (relations), `\schema NAME`, `\show NAME`,
-//! `\plan STATEMENT` (optimized plan), `\load FILE.cdb`, `\help`, `\quit`.
+//! `\plan STATEMENT` (optimized plan), `\trace [json] STATEMENT`,
+//! `\explain analyze STATEMENT`, `\metrics [reset]`, `\load FILE.cdb`,
+//! `\help`, `\quit`.
 
 use cqa::core::{exec, optimizer, Catalog};
 use cqa::lang::lower::lower_expr;
@@ -134,7 +136,9 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             println!("ddl/dml:     create relation NAME {{ attr: type kind; ... }}");
             println!("             insert into NAME {{ conds }}");
             println!("             drop NAME");
-            println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT  \\trace STMT");
+            println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT");
+            println!("             \\trace [json] STMT  \\explain analyze STMT");
+            println!("             \\metrics [reset]");
             println!("             \\set threads N  \\set filter on|off  \\set");
             println!("             \\set timeout MS|off  \\set budget fm|dnf|tuples N|off");
             println!("             \\stats governor");
@@ -160,31 +164,45 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             Ok(rel) => print!("{}", rel),
             Err(e) => eprintln!("error: {}", e),
         },
-        "trace" => match parse_script(&format!("{}\n", rest)) {
-            Ok(script) if script.statements.len() == 1 => {
-                let stmt = &script.statements[0];
-                let Some((expr, line)) = stmt_query(stmt) else {
-                    eprintln!("\\trace takes a query statement");
-                    return true;
-                };
-                match lower_expr(expr, line)
-                    .map_err(|e| e.to_string())
-                    .and_then(|plan| {
-                        optimizer::optimize(&plan, runner.catalog()).map_err(|e| e.to_string())
-                    })
-                    .and_then(|plan| {
-                        exec::execute_traced_opts(&plan, runner.catalog(), runner.exec_options())
-                            .map_err(|e| e.to_string())
-                    }) {
-                    Ok((result, trace)) => {
-                        print!("{}", trace);
-                        print!("{}", result);
-                    }
-                    Err(e) => eprintln!("error: {}", e),
+        "trace" => {
+            // `\trace json STMT` emits the span tree as JSON; `\trace STMT`
+            // renders it as text followed by the result.
+            let (json, stmt) = match rest.strip_prefix("json") {
+                Some(r) if r.starts_with(char::is_whitespace) => (true, r.trim()),
+                _ => (false, rest),
+            };
+            match runner.run_traced(&format!("{}\n", stmt)) {
+                Ok((result, trace)) if json => {
+                    println!("{}", trace.to_json().render());
+                    drop(result);
                 }
+                Ok((result, trace)) => {
+                    print!("{}", trace);
+                    print!("{}", result);
+                }
+                Err(e) => eprintln!("error: {}", e),
             }
-            Ok(_) => eprintln!("\\trace takes exactly one statement"),
-            Err(e) => eprintln!("error: {}", e),
+        }
+        "explain" => {
+            let Some(stmt) = rest.strip_prefix("analyze").map(str::trim).filter(|s| !s.is_empty())
+            else {
+                eprintln!("usage: \\explain analyze STATEMENT");
+                return true;
+            };
+            match runner.run_traced(&format!("{}\n", stmt)) {
+                Ok((_result, trace)) => {
+                    print!("{}", exec::render_explain_analyze(&trace, runner.exec_options()));
+                }
+                Err(e) => eprintln!("error: {}", e),
+            }
+        }
+        "metrics" => match rest {
+            "" => print!("{}", cqa::obs::snapshot().render_text()),
+            "reset" => {
+                cqa::obs::reset_metrics();
+                println!("metrics reset");
+            }
+            other => eprintln!("unknown metrics argument {:?} (try \\metrics reset)", other),
         },
         "plan" => match parse_script(&format!("{}\n", rest)) {
             Ok(script) if script.statements.len() == 1 => {

@@ -22,7 +22,9 @@
 //!   vector conversion, Buffer-Join, and k-Nearest;
 //! * [`core`] — the heterogeneous data model (C/R flags), the six CQA
 //!   operators, plans, optimizer, evaluator, and safety checking;
-//! * [`lang`] — the ASCII query-script language and the `.cdb` data format.
+//! * [`lang`] — the ASCII query-script language and the `.cdb` data format;
+//! * [`obs`] — the observability layer: global metrics registry, structured
+//!   span tracing, and the JSON value type behind `\trace json`.
 //!
 //! ## Quickstart
 //!
@@ -53,5 +55,6 @@ pub use cqa_core as core;
 pub use cqa_index as index;
 pub use cqa_lang as lang;
 pub use cqa_num as num;
+pub use cqa_obs as obs;
 pub use cqa_spatial as spatial;
 pub use cqa_storage as storage;

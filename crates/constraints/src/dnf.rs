@@ -13,6 +13,7 @@ use crate::conj::Conjunction;
 use crate::var::Var;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A disjunction of conjunctions of linear constraint atoms.
 ///
@@ -105,9 +106,21 @@ impl Dnf {
         other: &Dnf,
         max_conjs: Option<u64>,
     ) -> Result<Dnf, DnfBudgetExceeded> {
+        self.and_opt(other, max_conjs, None)
+    }
+
+    fn and_opt(
+        &self,
+        other: &Dnf,
+        max_conjs: Option<u64>,
+        built: Option<&AtomicU64>,
+    ) -> Result<Dnf, DnfBudgetExceeded> {
         let mut out = Vec::new();
         for a in &self.conjs {
             for b in &other.conjs {
+                if let Some(built) = built {
+                    built.fetch_add(1, Ordering::Relaxed);
+                }
                 let c = a.and(b);
                 if !c.is_trivially_false() && c.is_satisfiable() {
                     out.push(c);
@@ -140,6 +153,14 @@ impl Dnf {
     /// count (the exponential distribution step is checked after each
     /// factor is multiplied in).
     pub fn negate_bounded(&self, max_conjs: Option<u64>) -> Result<Dnf, DnfBudgetExceeded> {
+        self.negate_opt(max_conjs, None)
+    }
+
+    fn negate_opt(
+        &self,
+        max_conjs: Option<u64>,
+        built: Option<&AtomicU64>,
+    ) -> Result<Dnf, DnfBudgetExceeded> {
         let mut acc = Dnf::tru();
         for c in &self.conjs {
             // ¬C = ∨_{atom a ∈ C} ¬a   (each ¬a is 1–2 atoms)
@@ -152,7 +173,7 @@ impl Dnf {
                     neg_c.push(Conjunction::from_atoms([n]));
                 }
             }
-            acc = acc.and_bounded(&Dnf::from_conjunctions(neg_c), max_conjs)?;
+            acc = acc.and_opt(&Dnf::from_conjunctions(neg_c), max_conjs, built)?;
             if acc.is_empty() {
                 return Ok(acc);
             }
@@ -171,7 +192,20 @@ impl Dnf {
         other: &Dnf,
         max_conjs: Option<u64>,
     ) -> Result<Dnf, DnfBudgetExceeded> {
-        self.and_bounded(&other.negate_bounded(max_conjs)?, max_conjs)
+        self.minus_counted(other, max_conjs, None)
+    }
+
+    /// [`Self::minus_bounded`] with instrumentation: every conjunction the
+    /// distribution step constructs (kept or discarded) is counted into
+    /// `built`, exposing the data-dependent negation blow-up that makes
+    /// difference the expensive operator.
+    pub fn minus_counted(
+        &self,
+        other: &Dnf,
+        max_conjs: Option<u64>,
+        built: Option<&AtomicU64>,
+    ) -> Result<Dnf, DnfBudgetExceeded> {
+        self.and_opt(&other.negate_opt(max_conjs, built)?, max_conjs, built)
     }
 
     /// Projects out `vars` from every disjunct (∃ distributes over ∨).

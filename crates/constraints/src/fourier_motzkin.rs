@@ -35,6 +35,9 @@ pub struct FmBudget<'a> {
     /// If set, the peak working-system size is recorded here (`fetch_max`),
     /// so callers can report how close a run came to its limit.
     pub peak: Option<&'a AtomicU64>,
+    /// If set, incremented once per elimination run — the observability
+    /// layer's "FM calls" counter.
+    pub calls: Option<&'a AtomicU64>,
 }
 
 impl<'a> FmBudget<'a> {
@@ -120,6 +123,9 @@ fn eliminate_opt(
     prune: bool,
     budget: FmBudget<'_>,
 ) -> Result<Eliminated, FmBudgetExceeded> {
+    if let Some(calls) = budget.calls {
+        calls.fetch_add(1, Ordering::Relaxed);
+    }
     let mut current: BTreeSet<Atom> = BTreeSet::new();
     for a in atoms {
         match a.ground_truth() {
@@ -475,12 +481,12 @@ mod tests {
         let ok = eliminate_budgeted(
             &set,
             &vars,
-            FmBudget { max_atoms: Some(1000), peak: Some(&peak) },
+            FmBudget { max_atoms: Some(1000), peak: Some(&peak), calls: None },
         );
         assert_eq!(ok, Ok(eliminate(&set, &vars)));
         assert!(peak.load(Ordering::Relaxed) >= set.len() as u64);
         // A budget below the input size trips immediately.
-        let err = eliminate_budgeted(&set, &vars, FmBudget { max_atoms: Some(2), peak: None });
+        let err = eliminate_budgeted(&set, &vars, FmBudget { max_atoms: Some(2), peak: None, calls: None });
         match err {
             Err(FmBudgetExceeded { atoms, limit }) => {
                 assert!(atoms > limit);

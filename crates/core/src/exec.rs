@@ -12,8 +12,15 @@
 //! filter before exact constraint arithmetic. Base-relation scans are
 //! borrowed from the catalog (`Cow`), not cloned, so a scan feeding an
 //! operator costs nothing.
+//!
+//! Tracing and plain execution share **one** evaluator: [`eval`] takes an
+//! optional trace sink, so the traced path makes exactly the physical
+//! choices (index-assisted selection included) the untraced path makes —
+//! `EXPLAIN ANALYZE` reports the plan that actually runs. Per-run totals
+//! flush into the global `cqa-obs` metrics registry at run end.
 
 use std::borrow::Cow;
+use std::time::{Duration, Instant};
 
 use crate::catalog::Catalog;
 use crate::error::Result;
@@ -32,8 +39,9 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<HRelation> {
     execute_opts(plan, catalog, &ExecOptions::default(), &ExecStats::new())
 }
 
-/// Evaluates a plan with explicit execution options; bounding-box filter
-/// counters accumulate into `stats` across the whole plan.
+/// Evaluates a plan with explicit execution options; evaluation counters
+/// (filter hits, FM calls/peak, index probes, join pairs, DNF growth)
+/// accumulate into `stats` across the whole plan.
 ///
 /// The run is governed: the governor in `opts` is armed (deadline reset,
 /// token lowered) before evaluation, operators poll its token between
@@ -48,29 +56,82 @@ pub fn execute_opts(
 ) -> Result<HRelation> {
     safety::check(plan)?;
     opts.governor.arm();
-    Ok(eval(plan, catalog, opts, stats)?.into_owned())
+    let run = ExecStats::new();
+    let out = eval(plan, catalog, opts, &run, None)?.into_owned();
+    stats.absorb(&run);
+    finish_run(&run, opts, out.len());
+    Ok(out)
 }
 
 /// Per-node evaluation statistics, mirroring the plan tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceNode {
-    /// Short operator label (e.g. `Scan R`, `Select`, `Join`).
+    /// Operator label, including the physical choice (e.g. `Scan R`,
+    /// `Select`, `Select (index [x, y])`, `Join`).
     pub label: String,
     /// Number of (syntactic) tuples this node produced.
     pub rows: usize,
     /// Wall-clock time spent in this node, *excluding* its children.
-    pub elapsed: std::time::Duration,
+    pub elapsed: Duration,
     /// Candidate pairs/tuples checked by this node's bounding-box filter.
     pub filter_checked: u64,
     /// How many of those the filter rejected before exact arithmetic.
     pub filter_rejected: u64,
     /// Peak intermediate Fourier–Motzkin atom count inside this node.
     pub fm_peak_atoms: u64,
+    /// Fourier–Motzkin elimination runs performed inside this node.
+    pub fm_calls: u64,
+    /// R*-tree nodes visited by index-assisted selection in this node.
+    pub index_accesses: u64,
+    /// Join candidate pairs enumerated (after hash pre-bucketing).
+    pub pairs_enumerated: u64,
+    /// Conjunctions built by DNF negation expansion in this node.
+    pub dnf_conjunctions: u64,
     /// Child traces in plan order.
     pub children: Vec<TraceNode>,
 }
 
 impl TraceNode {
+    fn from_stats(
+        label: String,
+        rows: usize,
+        elapsed: Duration,
+        stats: &ExecStats,
+        children: Vec<TraceNode>,
+    ) -> TraceNode {
+        TraceNode {
+            label,
+            rows,
+            elapsed,
+            filter_checked: stats.checked(),
+            filter_rejected: stats.rejected(),
+            fm_peak_atoms: stats.fm_peak(),
+            fm_calls: stats.fm_calls(),
+            index_accesses: stats.index_accesses(),
+            pairs_enumerated: stats.pairs_enumerated(),
+            dnf_conjunctions: stats.dnf_conjunctions(),
+            children: children,
+        }
+    }
+
+    /// Rows flowing *into* this node: what its candidate pool was. For a
+    /// join that is the enumerated pair count; otherwise the children's
+    /// row counts summed.
+    pub fn input_rows(&self) -> u64 {
+        if self.pairs_enumerated > 0 {
+            self.pairs_enumerated
+        } else {
+            self.children.iter().map(|c| c.rows as u64).sum()
+        }
+    }
+
+    /// Output rows over input candidates, when the node has input.
+    pub fn selectivity(&self) -> Option<f64> {
+        let input = self.input_rows();
+        (input > 0 && !self.children.is_empty() || self.pairs_enumerated > 0)
+            .then(|| self.rows as f64 / input.max(1) as f64)
+    }
+
     fn render(&self, out: &mut String, depth: usize) {
         use std::fmt::Write as _;
         let _ = write!(
@@ -81,12 +142,18 @@ impl TraceNode {
             self.rows,
             self.elapsed
         );
+        if self.pairs_enumerated > 0 {
+            let _ = write!(out, ", {} pair(s) enumerated", self.pairs_enumerated);
+        }
         if self.filter_checked > 0 {
             let _ = write!(
                 out,
                 ", bbox filter {}/{} rejected",
                 self.filter_rejected, self.filter_checked
             );
+        }
+        if self.index_accesses > 0 {
+            let _ = write!(out, ", {} index node(s)", self.index_accesses);
         }
         if self.fm_peak_atoms > 0 {
             let _ = write!(out, ", fm peak {} atom(s)", self.fm_peak_atoms);
@@ -95,6 +162,109 @@ impl TraceNode {
         for c in &self.children {
             c.render(out, depth + 1);
         }
+    }
+
+    fn render_analyze(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{}{}  [{} row(s), {:.2?}",
+            "  ".repeat(depth),
+            self.label,
+            self.rows,
+            self.elapsed
+        );
+        if let Some(sel) = self.selectivity() {
+            let _ = write!(out, ", selectivity {:.1}%", sel * 100.0);
+        }
+        if self.pairs_enumerated > 0 {
+            let _ = write!(out, ", {} pair(s) enumerated", self.pairs_enumerated);
+        }
+        if self.filter_checked > 0 {
+            let _ = write!(
+                out,
+                ", bbox filter {}/{} rejected",
+                self.filter_rejected, self.filter_checked
+            );
+        }
+        if self.index_accesses > 0 {
+            let _ = write!(out, ", {} index node(s) accessed", self.index_accesses);
+        }
+        if self.fm_calls > 0 {
+            let _ = write!(
+                out,
+                ", fm {} call(s) peak {} atom(s)",
+                self.fm_calls, self.fm_peak_atoms
+            );
+        }
+        if self.dnf_conjunctions > 0 {
+            let _ = write!(out, ", dnf {} conjunction(s) built", self.dnf_conjunctions);
+        }
+        let _ = writeln!(out, "]");
+        for c in &self.children {
+            c.render_analyze(out, depth + 1);
+        }
+    }
+
+    /// Canonical identity of the whole trace, excluding wall time — two
+    /// runs of the same workload produce identical identities regardless
+    /// of thread count.
+    pub fn identity(&self) -> String {
+        let mut out = String::new();
+        self.identity_into(&mut out, 0);
+        out
+    }
+
+    fn identity_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{}{} rows={} filter={}/{} fm={}@{} index={} pairs={} dnf={}",
+            "  ".repeat(depth),
+            self.label,
+            self.rows,
+            self.filter_rejected,
+            self.filter_checked,
+            self.fm_calls,
+            self.fm_peak_atoms,
+            self.index_accesses,
+            self.pairs_enumerated,
+            self.dnf_conjunctions,
+        );
+        for c in &self.children {
+            c.identity_into(out, depth + 1);
+        }
+    }
+
+    /// Machine-readable span tree (the `\trace json` payload).
+    pub fn to_json(&self) -> cqa_obs::json::Json {
+        use cqa_obs::json::Json;
+        Json::Obj(vec![
+            ("label".into(), Json::str(self.label.clone())),
+            ("rows".into(), Json::from_u64(self.rows as u64)),
+            ("elapsed_ns".into(), Json::from_u64(self.elapsed.as_nanos() as u64)),
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("filter_checked".into(), Json::from_u64(self.filter_checked)),
+                    ("filter_rejected".into(), Json::from_u64(self.filter_rejected)),
+                    ("fm_peak_atoms".into(), Json::from_u64(self.fm_peak_atoms)),
+                    ("fm_calls".into(), Json::from_u64(self.fm_calls)),
+                    ("index_accesses".into(), Json::from_u64(self.index_accesses)),
+                    ("pairs_enumerated".into(), Json::from_u64(self.pairs_enumerated)),
+                    ("dnf_conjunctions".into(), Json::from_u64(self.dnf_conjunctions)),
+                ]),
+            ),
+            ("children".into(), Json::Arr(self.children.iter().map(|c| c.to_json()).collect())),
+        ])
+    }
+
+    fn fold<A>(&self, acc: A, f: &impl Fn(A, &TraceNode) -> A) -> A {
+        let mut acc = f(acc, self);
+        for c in &self.children {
+            acc = c.fold(acc, f);
+        }
+        acc
     }
 }
 
@@ -106,214 +276,256 @@ impl std::fmt::Display for TraceNode {
     }
 }
 
-/// Evaluates a plan, also producing a per-node trace (row counts,
-/// self-times and filter hit rates) — the `EXPLAIN ANALYZE` of the CQA
-/// layer. Uses default [`ExecOptions`].
-///
-/// The traced path always evaluates operators directly (no index-assisted
-/// selection), so the trace reflects the plain algebra; results are
-/// identical to [`execute`] either way.
-pub fn execute_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
-    execute_traced_opts(plan, catalog, &ExecOptions::default())
+/// Renders a completed trace as `EXPLAIN ANALYZE` text: the annotated
+/// plan tree (per-node wall time, row counts, filter selectivity, index
+/// node accesses) followed by run totals and governor budget headroom.
+pub fn render_explain_analyze(trace: &TraceNode, opts: &ExecOptions) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    trace.render_analyze(&mut out, 0);
+    let total: Duration = trace.fold(Duration::ZERO, &|acc, n| acc + n.elapsed);
+    let fm_peak = trace.fold(0u64, &|acc, n| acc.max(n.fm_peak_atoms));
+    let fm_calls = trace.fold(0u64, &|acc, n| acc + n.fm_calls);
+    let dnf = trace.fold(0u64, &|acc, n| acc + n.dnf_conjunctions);
+    let _ = writeln!(out, "totals: {:.2?} wall, {} fm call(s)", total, fm_calls);
+    let g = &opts.governor;
+    let headroom = |used: u64, limit: Option<u64>| match limit {
+        Some(l) => format!("{}/{} ({}% headroom)", used, l, 100u64.saturating_sub(used * 100 / l.max(1))),
+        None => format!("{}/unlimited", used),
+    };
+    let _ = writeln!(
+        out,
+        "governor: {} check(s); fm atoms {}; dnf conjunctions {}; output tuples {}",
+        g.checks(),
+        headroom(fm_peak, g.budgets.max_fm_atoms),
+        headroom(dnf, g.budgets.max_dnf_conjunctions),
+        headroom(trace.rows as u64, g.budgets.max_output_tuples),
+    );
+    out
 }
 
-/// [`execute_traced`] with explicit execution options.
+/// Evaluates a plan, also producing a per-node trace (row counts,
+/// self-times, filter hit rates, index accesses) — the data behind the
+/// `EXPLAIN ANALYZE` of the CQA layer. Uses default [`ExecOptions`].
+///
+/// The traced evaluator **is** the plain evaluator with a trace sink
+/// attached: physical choices (index-assisted selection included) and
+/// results are identical to [`execute`].
+pub fn execute_traced(plan: &Plan, catalog: &Catalog) -> Result<(HRelation, TraceNode)> {
+    execute_traced_opts(plan, catalog, &ExecOptions::default(), &ExecStats::new())
+}
+
+/// [`execute_traced`] with explicit execution options; counters also
+/// accumulate into `stats` (absorbed at run end, like [`execute_opts`]).
 pub fn execute_traced_opts(
     plan: &Plan,
     catalog: &Catalog,
     opts: &ExecOptions,
+    stats: &ExecStats,
 ) -> Result<(HRelation, TraceNode)> {
     safety::check(plan)?;
     opts.governor.arm();
-    let (rel, trace) = eval_traced(plan, catalog, opts)?;
-    Ok((rel.into_owned(), trace))
+    let run = ExecStats::new();
+    let mut roots: Vec<TraceNode> = Vec::new();
+    let rel = eval(plan, catalog, opts, &run, Some(&mut roots))?.into_owned();
+    stats.absorb(&run);
+    finish_run(&run, opts, rel.len());
+    let trace = roots.pop().expect("traced eval pushes exactly one root");
+    Ok((rel, trace))
 }
 
-fn eval_traced<'a>(
-    plan: &Plan,
-    catalog: &'a Catalog,
-    opts: &ExecOptions,
-) -> Result<(Cow<'a, HRelation>, TraceNode)> {
-    let mut children: Vec<TraceNode> = Vec::new();
-    let mut child = |p: &Plan| -> Result<Cow<'a, HRelation>> {
-        let (rel, trace) = eval_traced(p, catalog, opts)?;
-        children.push(trace);
-        Ok(rel)
-    };
-    // Each node gets its own counters so the trace can show per-operator
-    // filter hit rates.
-    let stats = ExecStats::new();
-    let start = std::time::Instant::now();
-    let (label, rel): (String, Cow<'a, HRelation>) = match plan {
-        Plan::Scan(name) => (format!("Scan {}", name), Cow::Borrowed(catalog.get(name)?)),
-        Plan::SpatialScan(name) => (
-            format!("SpatialScan {}", name),
-            Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
-                catalog.get_spatial(name)?,
-            )?),
-        ),
-        Plan::Select { input, selection } => {
-            let rel = child(input)?;
-            let t = std::time::Instant::now();
-            let out = ops::select_opts(&rel, selection, opts, &stats)?;
-            return finish("Select".to_string(), out, t, opts, &stats, children);
-        }
-        Plan::Project { input, attrs } => {
-            let rel = child(input)?;
-            let t = std::time::Instant::now();
-            let out = ops::project_opts(&rel, attrs, opts, &stats)?;
-            return finish(
-                format!("Project on {}", attrs.join(", ")),
-                out,
-                t,
-                opts,
-                &stats,
-                children,
-            );
-        }
-        Plan::Join { left, right } => {
-            let (l, r) = (child(left)?, child(right)?);
-            let t = std::time::Instant::now();
-            let out = ops::join_opts(&l, &r, opts, &stats)?;
-            return finish("Join".to_string(), out, t, opts, &stats, children);
-        }
-        Plan::Union { left, right } => {
-            let (l, r) = (child(left)?, child(right)?);
-            let t = std::time::Instant::now();
-            let out = ops::union(&l, &r)?;
-            return finish("Union".to_string(), out, t, opts, &stats, children);
-        }
-        Plan::Difference { left, right } => {
-            let (l, r) = (child(left)?, child(right)?);
-            let t = std::time::Instant::now();
-            let out = ops::difference_opts(&l, &r, opts, &stats)?;
-            return finish("Difference".to_string(), out, t, opts, &stats, children);
-        }
-        Plan::Rename { input, from, to } => {
-            let rel = child(input)?;
-            let t = std::time::Instant::now();
-            let out = ops::rename(&rel, from, to)?;
-            return finish(format!("Rename {} -> {}", from, to), out, t, opts, &stats, children);
-        }
-        other @ (Plan::BufferJoin { .. } | Plan::KNearest { .. }) => {
-            let out = eval(other, catalog, opts, &stats)?;
-            let label = match other {
-                Plan::BufferJoin { left, right, .. } => format!("BufferJoin {} and {}", left, right),
-                Plan::KNearest { left, right, k } => {
-                    format!("KNearest {} and {} k {}", left, right, k)
-                }
-                _ => unreachable!(),
-            };
-            (label, out)
-        }
-        Plan::Distance { .. } => unreachable!("rejected by the safety check"),
-    };
-    let rows = rel.len();
-    opts.governor.guard_output(rows)?;
-    Ok((
-        rel,
-        TraceNode {
-            label,
-            rows,
-            elapsed: start.elapsed(),
-            filter_checked: stats.checked(),
-            filter_rejected: stats.rejected(),
-            fm_peak_atoms: stats.fm_peak(),
-            children,
-        },
-    ))
+/// Run-end bookkeeping: mirrors the run's counters into the global
+/// `cqa-obs` registry (when enabled), plus run count, output rows, and
+/// governor checks.
+fn finish_run(run: &ExecStats, opts: &ExecOptions, rows: usize) {
+    run.flush_global();
+    if !cqa_obs::metrics_enabled() {
+        return;
+    }
+    struct RunMetrics {
+        runs: &'static cqa_obs::Counter,
+        rows_out: &'static cqa_obs::Counter,
+        governor_checks: &'static cqa_obs::Counter,
+    }
+    static M: std::sync::OnceLock<RunMetrics> = std::sync::OnceLock::new();
+    let m = M.get_or_init(|| RunMetrics {
+        runs: cqa_obs::counter("exec.runs"),
+        rows_out: cqa_obs::counter("exec.rows_out"),
+        governor_checks: cqa_obs::counter("governor.checks"),
+    });
+    m.runs.inc();
+    m.rows_out.add(rows as u64);
+    m.governor_checks.add(opts.governor.checks());
 }
 
-fn finish<'a>(
-    label: String,
-    out: HRelation,
-    since: std::time::Instant,
-    opts: &ExecOptions,
-    stats: &ExecStats,
-    children: Vec<TraceNode>,
-) -> Result<(Cow<'a, HRelation>, TraceNode)> {
-    let rows = out.len();
-    opts.governor.guard_output(rows)?;
-    Ok((
-        Cow::Owned(out),
-        TraceNode {
-            label,
-            rows,
-            elapsed: since.elapsed(),
-            filter_checked: stats.checked(),
-            filter_rejected: stats.rejected(),
-            fm_peak_atoms: stats.fm_peak(),
-            children,
-        },
-    ))
-}
-
+/// The one evaluator. With `trace == None` this is plain evaluation:
+/// operators record into `stats` directly. With `trace == Some(sink)`
+/// each node runs against a fresh node-local counter set (absorbed into
+/// `stats` afterwards, so run totals match the untraced path), is timed,
+/// and pushes its [`TraceNode`] — children first, then itself — into the
+/// sink. Physical plan choices are made before the mode is consulted, so
+/// they cannot diverge.
 fn eval<'a>(
     plan: &Plan,
     catalog: &'a Catalog,
     opts: &ExecOptions,
     stats: &ExecStats,
+    trace: Option<&mut Vec<TraceNode>>,
 ) -> Result<Cow<'a, HRelation>> {
-    let rel: Cow<'a, HRelation> = match plan {
-        Plan::Scan(name) => Cow::Borrowed(catalog.get(name)?),
-        Plan::SpatialScan(name) => Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
-            catalog.get_spatial(name)?,
-        )?),
+    let Some(parent) = trace else {
+        let (_label, _elapsed, rel) = eval_node(plan, catalog, opts, stats, stats, None)?;
+        // Every node — scans included — answers to the output-tuple
+        // budget: a governed run bounds its intermediates wherever they
+        // arise.
+        opts.governor.guard_output(rel.len())?;
+        return Ok(rel);
+    };
+    let node_stats = ExecStats::new();
+    let mut children: Vec<TraceNode> = Vec::new();
+    let (label, elapsed, rel) =
+        eval_node(plan, catalog, opts, &node_stats, stats, Some(&mut children))?;
+    let rows = rel.len();
+    opts.governor.guard_output(rows)?;
+    stats.absorb(&node_stats);
+    let node = TraceNode::from_stats(label, rows, elapsed, &node_stats, children);
+    if cqa_obs::spans_enabled() {
+        cqa_obs::record_span(
+            "exec.node",
+            node.label.clone(),
+            node.elapsed.as_nanos() as u64,
+            vec![
+                ("rows", node.rows as u64),
+                ("filter_checked", node.filter_checked),
+                ("filter_rejected", node.filter_rejected),
+                ("fm_calls", node.fm_calls),
+                ("index_accesses", node.index_accesses),
+                ("pairs_enumerated", node.pairs_enumerated),
+            ],
+        );
+    }
+    parent.push(node);
+    Ok(rel)
+}
+
+/// Evaluates one node: children recurse through [`eval`] (recording into
+/// `child_stats` / `children_out`), the node's own operator records into
+/// `op_stats`. Returns the label, the node's self-time (children
+/// excluded), and the result.
+fn eval_node<'a>(
+    plan: &Plan,
+    catalog: &'a Catalog,
+    opts: &ExecOptions,
+    op_stats: &ExecStats,
+    child_stats: &ExecStats,
+    mut children_out: Option<&mut Vec<TraceNode>>,
+) -> Result<(String, Duration, Cow<'a, HRelation>)> {
+    match plan {
+        Plan::Scan(name) => {
+            let t0 = Instant::now();
+            let rel = Cow::Borrowed(catalog.get(name)?);
+            Ok((format!("Scan {}", name), t0.elapsed(), rel))
+        }
+        Plan::SpatialScan(name) => {
+            let t0 = Instant::now();
+            let rel = Cow::Owned(crate::spatial_bridge::spatial_to_hrelation(
+                catalog.get_spatial(name)?,
+            )?);
+            Ok((format!("SpatialScan {}", name), t0.elapsed(), rel))
+        }
         Plan::Select { input, selection } => {
+            // Index-assisted selection over a base relation: decided here,
+            // before the trace mode is consulted, so traced and untraced
+            // runs make the same physical choice.
             if let Plan::Scan(name) = input.as_ref() {
-                if let Some(result) = try_index_select(catalog, name, selection, opts, stats)? {
-                    return Ok(Cow::Owned(result));
+                let t0 = Instant::now();
+                if let Some((result, via)) =
+                    try_index_select(catalog, name, selection, opts, op_stats)?
+                {
+                    let elapsed = t0.elapsed();
+                    if let Some(out) = children_out.as_deref_mut() {
+                        // The scan child is never materialized on this
+                        // path; synthesize its node so the trace still
+                        // mirrors the logical plan.
+                        let base = catalog.get(name)?;
+                        out.push(TraceNode::from_stats(
+                            format!("Scan {}", name),
+                            base.len(),
+                            Duration::ZERO,
+                            &ExecStats::new(),
+                            Vec::new(),
+                        ));
+                    }
+                    return Ok((format!("Select (index [{}])", via), elapsed, Cow::Owned(result)));
                 }
             }
-            let rel = eval(input, catalog, opts, stats)?;
-            Cow::Owned(ops::select_opts(&rel, selection, opts, stats)?)
+            let rel = eval(input, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::select_opts(&rel, selection, opts, op_stats)?;
+            Ok(("Select".to_string(), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::Project { input, attrs } => {
-            let rel = eval(input, catalog, opts, stats)?;
-            Cow::Owned(ops::project_opts(&rel, attrs, opts, stats)?)
+            let rel = eval(input, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::project_opts(&rel, attrs, opts, op_stats)?;
+            Ok((format!("Project on {}", attrs.join(", ")), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::Join { left, right } => {
-            let l = eval(left, catalog, opts, stats)?;
-            let r = eval(right, catalog, opts, stats)?;
-            Cow::Owned(ops::join_opts(&l, &r, opts, stats)?)
+            let l = eval(left, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let r = eval(right, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::join_opts(&l, &r, opts, op_stats)?;
+            Ok(("Join".to_string(), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::Union { left, right } => {
-            let l = eval(left, catalog, opts, stats)?;
-            let r = eval(right, catalog, opts, stats)?;
-            Cow::Owned(ops::union(&l, &r)?)
+            let l = eval(left, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let r = eval(right, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::union(&l, &r)?;
+            Ok(("Union".to_string(), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::Difference { left, right } => {
-            let l = eval(left, catalog, opts, stats)?;
-            let r = eval(right, catalog, opts, stats)?;
-            Cow::Owned(ops::difference_opts(&l, &r, opts, stats)?)
+            let l = eval(left, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let r = eval(right, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::difference_opts(&l, &r, opts, op_stats)?;
+            Ok(("Difference".to_string(), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::Rename { input, from, to } => {
-            let rel = eval(input, catalog, opts, stats)?;
-            Cow::Owned(ops::rename(&rel, from, to)?)
+            let rel = eval(input, catalog, opts, child_stats, children_out.as_deref_mut())?;
+            let t0 = Instant::now();
+            let out = ops::rename(&rel, from, to)?;
+            Ok((format!("Rename {} -> {}", from, to), t0.elapsed(), Cow::Owned(out)))
         }
         Plan::BufferJoin { left, right, distance } => {
+            let t0 = Instant::now();
             let l = catalog.get_spatial(left)?;
             let r = catalog.get_spatial(right)?;
             let (pairs, _accesses) =
                 cqa_spatial::ops::buffer_join_par(l, r, distance, opts.effective_threads());
-            Cow::Owned(id_pairs_relation(pairs))
+            Ok((
+                format!("BufferJoin {} and {}", left, right),
+                t0.elapsed(),
+                Cow::Owned(id_pairs_relation(pairs)),
+            ))
         }
         Plan::KNearest { left, right, k } => {
+            let t0 = Instant::now();
             let l = catalog.get_spatial(left)?;
             let r = catalog.get_spatial(right)?;
-            Cow::Owned(id_pairs_relation(cqa_spatial::ops::k_nearest_par(
+            let out = id_pairs_relation(cqa_spatial::ops::k_nearest_par(
                 l,
                 r,
                 *k,
                 opts.effective_threads(),
-            )))
+            ));
+            Ok((
+                format!("KNearest {} and {} k {}", left, right, k),
+                t0.elapsed(),
+                Cow::Owned(out),
+            ))
         }
         Plan::Distance { .. } => unreachable!("rejected by the safety check"),
-    };
-    // Every node — scans included — answers to the output-tuple budget:
-    // a governed run bounds its intermediates wherever they arise.
-    opts.governor.guard_output(rel.len())?;
-    Ok(rel)
+    }
 }
 
 /// Index-assisted selection over a base relation (the "through the use of
@@ -321,14 +533,15 @@ fn eval<'a>(
 /// has an index whose attributes the selection bounds, probe it for
 /// candidate tuples and run the exact selection only on those. Returns
 /// `None` when no index applies; the result, when `Some`, is identical to
-/// the unindexed path (the filter is conservative, the refinement exact).
+/// the unindexed path (the filter is conservative, the refinement exact)
+/// and comes with a label describing the physical choice.
 fn try_index_select(
     catalog: &Catalog,
     name: &str,
     selection: &crate::plan::Selection,
     opts: &ExecOptions,
     stats: &ExecStats,
-) -> Result<Option<HRelation>> {
+) -> Result<Option<(HRelation, String)>> {
     use crate::plan::{CmpOp, Predicate};
     let rel = catalog.get(name)?;
     let indexes = catalog.indexes(name);
@@ -384,7 +597,7 @@ fn try_index_select(
     // selection's conjunction, and an inverted probe rectangle would be
     // rejected by the index. Answer directly.
     if bounds.values().any(|(lo, hi)| lo > hi) {
-        return Ok(Some(HRelation::new(rel.schema().clone())));
+        return Ok(Some((HRelation::new(rel.schema().clone()), "contradiction".to_string())));
     }
 
     // Pick the index covering the most bounded attributes.
@@ -402,14 +615,27 @@ fn try_index_select(
         .iter()
         .map(|a| bounds.get(a.as_str()).copied())
         .collect();
+    let accesses_before = index.accesses();
+    let span_start = cqa_obs::spans_enabled().then(Instant::now);
     let candidates = index.probe(&probe);
+    let accesses = index.accesses() - accesses_before;
+    stats.record_index_probe(accesses);
+    let via = index.attrs().join(", ");
+    if let Some(t0) = span_start {
+        cqa_obs::record_span(
+            "index.probe",
+            format!("{} [{}]", name, via),
+            t0.elapsed().as_nanos() as u64,
+            vec![("accesses", accesses), ("candidates", candidates.len() as u64)],
+        );
+    }
 
     // Exact refinement on the candidates only, preserving scan order.
     let mut filtered = HRelation::new(rel.schema().clone());
     for i in candidates {
         filtered.insert(rel.tuples()[i].clone());
     }
-    Ok(Some(ops::select_opts(&filtered, selection, opts, stats)?))
+    Ok(Some((ops::select_opts(&filtered, selection, opts, stats)?, via)))
 }
 
 /// Schema of whole-feature operator outputs: two relational string
@@ -539,9 +765,89 @@ mod tests {
         assert!(shown.contains("row(s)"), "{}", shown);
         // The Select node checked its residuals against the bbox filter.
         assert_eq!(trace.children[0].filter_checked, 2);
+        // The projection's eliminations are visible per node.
+        assert!(trace.fm_calls >= 1, "project runs FM per tuple");
         // Safety still enforced.
         let bad = Plan::Distance { left: "Probes".into(), right: "Cities".into() };
         assert!(execute_traced(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn traced_run_accumulates_run_stats_like_untraced() {
+        let cat = catalog();
+        let plan = Plan::scan("R").select(Selection::all().cmp_int("x", CmpOp::Ge, 5));
+        let plain_stats = ExecStats::new();
+        execute_opts(&plan, &cat, &ExecOptions::default(), &plain_stats).unwrap();
+        let traced_stats = ExecStats::new();
+        execute_traced_opts(&plan, &cat, &ExecOptions::default(), &traced_stats).unwrap();
+        assert_eq!(plain_stats.checked(), traced_stats.checked());
+        assert_eq!(plain_stats.rejected(), traced_stats.rejected());
+        assert_eq!(plain_stats.fm_calls(), traced_stats.fm_calls());
+    }
+
+    #[test]
+    fn traced_and_untraced_share_the_index_path() {
+        // The traced evaluator must make the same physical choice as the
+        // untraced one — index-assisted selection included.
+        let mut cat = catalog();
+        cat.build_index("R", &["x"]).unwrap();
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 15).cmp_int("x", CmpOp::Le, 40));
+        let accesses_before = cat.indexes("R")[0].accesses();
+        let plain = execute(&plan, &cat).unwrap();
+        let untraced_accesses = cat.indexes("R")[0].accesses() - accesses_before;
+        assert!(untraced_accesses > 0, "untraced path probed the index");
+
+        let stats = ExecStats::new();
+        let (traced, trace) =
+            execute_traced_opts(&plan, &cat, &ExecOptions::default(), &stats).unwrap();
+        let traced_accesses = cat.indexes("R")[0].accesses() - accesses_before - untraced_accesses;
+        assert_eq!(plain, traced, "identical relations");
+        assert_eq!(untraced_accesses, traced_accesses, "identical physical plan");
+        assert!(trace.label.contains("index [x]"), "trace reports the choice: {}", trace.label);
+        assert_eq!(trace.index_accesses, traced_accesses, "trace counts the probe");
+        assert_eq!(stats.index_probes(), 1);
+        // The synthesized scan child keeps the tree shape.
+        assert_eq!(trace.children.len(), 1);
+        assert_eq!(trace.children[0].label, "Scan R");
+        // And the identity digest is stable across thread counts.
+        let id1 = trace.identity();
+        for threads in [1usize, 2, 8] {
+            let (rel, t) = execute_traced_opts(
+                &plan,
+                &cat,
+                &ExecOptions::with_threads(threads),
+                &ExecStats::new(),
+            )
+            .unwrap();
+            assert_eq!(rel, traced, "threads={}", threads);
+            assert_eq!(t.identity(), id1, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn explain_analyze_renders_annotations() {
+        let mut cat = catalog();
+        cat.build_index("R", &["x"]).unwrap();
+        let plan = Plan::scan("R")
+            .select(Selection::all().cmp_int("x", CmpOp::Ge, 5))
+            .project(&["id"]);
+        let opts = ExecOptions::default();
+        let (_, trace) = execute_traced_opts(&plan, &cat, &opts, &ExecStats::new()).unwrap();
+        let text = render_explain_analyze(&trace, &opts);
+        assert!(text.contains("row(s)"), "{}", text);
+        assert!(text.contains("index [x]"), "{}", text);
+        assert!(text.contains("index node(s) accessed"), "{}", text);
+        assert!(text.contains("selectivity"), "{}", text);
+        assert!(text.contains("governor:"), "{}", text);
+        assert!(text.contains("unlimited"), "{}", text);
+        // JSON round-trips through the obs parser.
+        let json = trace.to_json().render();
+        let parsed = cqa_obs::json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("label").and_then(|l| l.as_str()),
+            Some(trace.label.as_str())
+        );
     }
 
     #[test]
@@ -727,6 +1033,7 @@ mod tests {
         let stats = ExecStats::new();
         execute_opts(&plan, &cat, &ExecOptions::default(), &stats).unwrap();
         assert!(stats.fm_peak() >= 2, "peak gauge saw the interval atoms");
+        assert!(stats.fm_calls() >= 2, "one elimination per tuple");
 
         // Difference's negation expansion answers to the DNF budget.
         let plan = Plan::Difference {
@@ -739,6 +1046,10 @@ mod tests {
             execute_opts(&plan, &cat, &opts, &ExecStats::new()),
             Err(CoreError::BudgetExceeded { what: "dnf conjunctions", .. })
         ));
+        // With room to run, the built-conjunction counter sees the work.
+        let stats = ExecStats::new();
+        execute_opts(&plan, &cat, &ExecOptions::default(), &stats).unwrap();
+        assert!(stats.dnf_conjunctions() > 0, "negation expansion was counted");
     }
 
     #[test]

@@ -211,9 +211,17 @@ impl Governor {
     }
 
     /// The Fourier–Motzkin budget view of this governor, recording the
-    /// peak intermediate atom count into `peak`.
-    pub fn fm_budget<'a>(&self, peak: &'a AtomicU64) -> cqa_constraints::FmBudget<'a> {
-        cqa_constraints::FmBudget { max_atoms: self.budgets.max_fm_atoms, peak: Some(peak) }
+    /// peak intermediate atom count and the elimination-call count into
+    /// `stats`.
+    pub fn fm_budget<'a>(
+        &self,
+        stats: &'a crate::par::ExecStats,
+    ) -> cqa_constraints::FmBudget<'a> {
+        cqa_constraints::FmBudget {
+            max_atoms: self.budgets.max_fm_atoms,
+            peak: Some(stats.fm_peak_cell()),
+            calls: Some(stats.fm_calls_cell()),
+        }
     }
 }
 

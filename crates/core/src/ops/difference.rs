@@ -81,10 +81,13 @@ pub fn difference_opts(
             let subtrahend =
                 Dnf::from_conjunctions(kept.iter().map(|rt| rt.constraint().clone()));
             // The negation expansion is the algebra's exponential corner:
-            // the governor's DNF budget bounds it with a typed error.
-            let remainder = match minuend
-                .minus_bounded(&subtrahend, governor.budgets.max_dnf_conjunctions)
-            {
+            // the governor's DNF budget bounds it with a typed error, and
+            // every conjunction it constructs is counted into `stats`.
+            let remainder = match minuend.minus_counted(
+                &subtrahend,
+                governor.budgets.max_dnf_conjunctions,
+                Some(stats.dnf_cell()),
+            ) {
                 Ok(r) => r.normalize(),
                 Err(e) => return vec![Err(e.into())],
             };

@@ -13,7 +13,18 @@ use crate::par::{try_flat_map_chunks, ExecOptions, ExecStats};
 use crate::relation::{remap_vars, HRelation};
 use crate::schema::AttrKind;
 use crate::tuple::Tuple;
+use crate::value::Value;
 use cqa_constraints::{Conjunction, QuickBox, Var};
+use std::collections::HashMap;
+
+/// The tuple's values at `positions`, or `None` if any is null (narrow
+/// semantics: a null shared attribute never joins).
+fn shared_key<'t>(
+    t: &'t Tuple,
+    positions: impl Iterator<Item = usize>,
+) -> Option<Vec<&'t Value>> {
+    positions.map(|i| t.value(i)).collect()
+}
 
 /// Applies the natural join with default [`ExecOptions`].
 pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
@@ -74,27 +85,51 @@ pub fn join_opts(
         })
         .collect();
 
+    // Hash-partition pre-bucketing on shared relational attributes: the
+    // right side is partitioned by its shared-attribute values once, so
+    // each left tuple enumerates only value-compatible candidates instead
+    // of scanning every right tuple for equality. Buckets keep right-scan
+    // order and the left loop is unchanged, so output order — and output
+    // content — is bit-identical to the full nested loop. Rights with a
+    // null shared value go in no bucket (narrow semantics).
+    let buckets: Option<HashMap<Vec<&Value>, Vec<usize>>> = if shared_rel.is_empty() {
+        None
+    } else {
+        let mut m: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+        for (i, (rt, _, _)) in rights.iter().enumerate() {
+            if let Some(key) = shared_key(rt, shared_rel.iter().map(|&(_, ri)| ri)) {
+                m.entry(key).or_default().push(i);
+            }
+        }
+        Some(m)
+    };
+    let all_rights: Vec<usize> = (0..rights.len()).collect();
+
     let governor = &opts.governor;
     let produced: Vec<Result<Tuple>> =
         try_flat_map_chunks(left.tuples(), opts.effective_threads(), Some(governor.token()), |lt| {
             if let Err(e) = governor.check() {
                 return vec![Err(e)];
             }
+            let candidates: &[usize] = match &buckets {
+                None => &all_rights,
+                Some(m) => shared_key(lt, shared_rel.iter().map(|&(li, _)| li))
+                    .and_then(|key| m.get(&key))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]),
+            };
+            stats.record_pairs(candidates.len() as u64);
             // Left constraints already sit at output positions (the output
             // schema starts with the left schema), so one box per left
             // tuple serves every pair.
-            let left_box =
-                if opts.bbox_filter { Some(lt.constraint().quick_box(arity)) } else { None };
+            let left_box = if opts.bbox_filter && !candidates.is_empty() {
+                Some(lt.constraint().quick_box(arity))
+            } else {
+                None
+            };
             let mut out = Vec::new();
-            for (rt, rconj, rbox) in &rights {
-                // Narrow semantics: shared relational values must both be
-                // present and equal.
-                let rel_match = shared_rel.iter().all(|&(li, ri)| {
-                    matches!((lt.value(li), rt.value(ri)), (Some(a), Some(b)) if a == b)
-                });
-                if !rel_match {
-                    continue;
-                }
+            for &ri in candidates {
+                let (rt, rconj, rbox) = &rights[ri];
                 if let Some(lb) = &left_box {
                     let rejected = lb.disjoint(rbox);
                     stats.record(rejected);
@@ -106,7 +141,7 @@ pub fn join_opts(
                 // (pre-remapped) right part is conjoined. Shared constraint
                 // attributes thereby intersect.
                 let conj = lt.constraint().and(rconj);
-                match conj.is_satisfiable_budgeted(governor.fm_budget(stats.fm_peak_cell())) {
+                match conj.is_satisfiable_budgeted(governor.fm_budget(stats)) {
                     Ok(false) => continue,
                     Ok(true) => {}
                     Err(e) => {

@@ -63,9 +63,25 @@ pub fn project_opts(
     for tuple in rel.tuples() {
         governor.check()?;
         let values = positions.iter().map(|&p| tuple.values()[p].clone()).collect();
+        // One span per elimination call when tracing: this serial loop is
+        // a span site, so the recorded sequence is thread-count-invariant.
+        let span_start = cqa_obs::spans_enabled().then(std::time::Instant::now);
+        let atoms_in = tuple.constraint().len() as u64;
         let conj = tuple
             .constraint()
-            .eliminate_budgeted(eliminate.iter().copied(), governor.fm_budget(stats.fm_peak_cell()))?;
+            .eliminate_budgeted(eliminate.iter().copied(), governor.fm_budget(stats))?;
+        if let Some(t0) = span_start {
+            cqa_obs::record_span(
+                "fm.eliminate",
+                String::new(),
+                t0.elapsed().as_nanos() as u64,
+                vec![
+                    ("atoms_in", atoms_in),
+                    ("atoms_out", conj.len() as u64),
+                    ("vars", eliminate.len() as u64),
+                ],
+            );
+        }
         if conj.is_trivially_false() {
             continue;
         }

@@ -257,7 +257,7 @@ pub fn select_opts(
                     return Ok(None);
                 }
             }
-            if residual.is_satisfiable_budgeted(governor.fm_budget(stats.fm_peak_cell()))? {
+            if residual.is_satisfiable_budgeted(governor.fm_budget(stats))? {
                 Ok(Some(Tuple::from_parts(tuple.values().to_vec(), residual)))
             } else {
                 Ok(None)

@@ -63,10 +63,16 @@ impl ExecOptions {
     }
 }
 
-/// Filter counters for one evaluation (or one plan node, in traces).
+/// Per-run (or per-plan-node, in traces) evaluation counters — the
+/// execution layer's staging buffer for the global `cqa-obs` metrics
+/// registry.
 ///
-/// Atomic so operator workers can record from any thread; totals are
-/// order-independent, hence identical to a serial run's.
+/// Atomic so operator workers can record from any thread; every counter
+/// is order-independent (sums and maxes), hence identical to a serial
+/// run's. At run end [`ExecStats::flush_global`] batches the totals into
+/// the process-global registry in one step, keeping the per-event hot
+/// path free of shared-cache-line contention beyond what the run-local
+/// atomics already cost.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     filter_checked: AtomicU64,
@@ -74,6 +80,45 @@ pub struct ExecStats {
     /// Peak intermediate atom count seen by any Fourier–Motzkin
     /// elimination (a gauge, combined by max rather than sum).
     fm_peak_atoms: AtomicU64,
+    /// Fourier–Motzkin elimination runs (satisfiability checks and
+    /// projections both land here).
+    fm_calls: AtomicU64,
+    /// Index-assisted selection probes.
+    index_probes: AtomicU64,
+    /// R*-tree nodes visited by those probes.
+    index_accesses: AtomicU64,
+    /// Join candidate pairs enumerated (after hash pre-bucketing, before
+    /// the bounding-box filter).
+    pairs_enumerated: AtomicU64,
+    /// Conjunctions constructed by difference's DNF negation expansion.
+    dnf_conjunctions: AtomicU64,
+}
+
+/// Cached handles into the global registry (one registration per
+/// process, lock-free recording afterwards).
+struct GlobalExecMetrics {
+    filter_checked: &'static cqa_obs::Counter,
+    filter_rejected: &'static cqa_obs::Counter,
+    fm_peak_atoms: &'static cqa_obs::Gauge,
+    fm_calls: &'static cqa_obs::Counter,
+    index_probes: &'static cqa_obs::Counter,
+    index_accesses: &'static cqa_obs::Counter,
+    pairs_enumerated: &'static cqa_obs::Counter,
+    dnf_conjunctions: &'static cqa_obs::Counter,
+}
+
+fn global_exec_metrics() -> &'static GlobalExecMetrics {
+    static G: std::sync::OnceLock<GlobalExecMetrics> = std::sync::OnceLock::new();
+    G.get_or_init(|| GlobalExecMetrics {
+        filter_checked: cqa_obs::counter("exec.filter.checked"),
+        filter_rejected: cqa_obs::counter("exec.filter.rejected"),
+        fm_peak_atoms: cqa_obs::gauge("exec.fm.peak_atoms"),
+        fm_calls: cqa_obs::counter("exec.fm.calls"),
+        index_probes: cqa_obs::counter("exec.index.probes"),
+        index_accesses: cqa_obs::counter("exec.index.accesses"),
+        pairs_enumerated: cqa_obs::counter("exec.join.pairs_enumerated"),
+        dnf_conjunctions: cqa_obs::counter("exec.dnf.conjunctions"),
+    })
 }
 
 impl ExecStats {
@@ -88,6 +133,18 @@ impl ExecStats {
         if rejected {
             self.filter_rejected.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records one index-assisted selection probe that visited
+    /// `accesses` R*-tree nodes.
+    pub fn record_index_probe(&self, accesses: u64) {
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+        self.index_accesses.fetch_add(accesses, Ordering::Relaxed);
+    }
+
+    /// Records `n` join candidate pairs enumerated.
+    pub fn record_pairs(&self, n: u64) {
+        self.pairs_enumerated.fetch_add(n, Ordering::Relaxed);
     }
 
     /// How many candidates consulted the filter.
@@ -105,9 +162,44 @@ impl ExecStats {
         self.fm_peak_atoms.load(Ordering::Relaxed)
     }
 
+    /// Fourier–Motzkin elimination runs so far.
+    pub fn fm_calls(&self) -> u64 {
+        self.fm_calls.load(Ordering::Relaxed)
+    }
+
+    /// Index-assisted selection probes so far.
+    pub fn index_probes(&self) -> u64 {
+        self.index_probes.load(Ordering::Relaxed)
+    }
+
+    /// R*-tree nodes visited by index-assisted selections so far.
+    pub fn index_accesses(&self) -> u64 {
+        self.index_accesses.load(Ordering::Relaxed)
+    }
+
+    /// Join candidate pairs enumerated so far.
+    pub fn pairs_enumerated(&self) -> u64 {
+        self.pairs_enumerated.load(Ordering::Relaxed)
+    }
+
+    /// Conjunctions built by DNF negation expansion so far.
+    pub fn dnf_conjunctions(&self) -> u64 {
+        self.dnf_conjunctions.load(Ordering::Relaxed)
+    }
+
     /// The cell [`cqa_constraints::FmBudget`] records its peak into.
     pub(crate) fn fm_peak_cell(&self) -> &AtomicU64 {
         &self.fm_peak_atoms
+    }
+
+    /// The cell [`cqa_constraints::FmBudget`] counts elimination runs in.
+    pub(crate) fn fm_calls_cell(&self) -> &AtomicU64 {
+        &self.fm_calls
+    }
+
+    /// The cell `Dnf::minus_counted` counts built conjunctions in.
+    pub(crate) fn dnf_cell(&self) -> &AtomicU64 {
+        &self.dnf_conjunctions
     }
 
     /// Folds another counter set into this one (counters add, gauges max).
@@ -115,6 +207,30 @@ impl ExecStats {
         self.filter_checked.fetch_add(other.checked(), Ordering::Relaxed);
         self.filter_rejected.fetch_add(other.rejected(), Ordering::Relaxed);
         self.fm_peak_atoms.fetch_max(other.fm_peak(), Ordering::Relaxed);
+        self.fm_calls.fetch_add(other.fm_calls(), Ordering::Relaxed);
+        self.index_probes.fetch_add(other.index_probes(), Ordering::Relaxed);
+        self.index_accesses.fetch_add(other.index_accesses(), Ordering::Relaxed);
+        self.pairs_enumerated.fetch_add(other.pairs_enumerated(), Ordering::Relaxed);
+        self.dnf_conjunctions.fetch_add(other.dnf_conjunctions(), Ordering::Relaxed);
+    }
+
+    /// Mirrors this run's totals into the global `cqa-obs` registry
+    /// (counters add, gauges max). A no-op when global metrics are
+    /// disabled — the run-local counters still work, so traces and
+    /// `\stats` are unaffected by the flag.
+    pub fn flush_global(&self) {
+        if !cqa_obs::metrics_enabled() {
+            return;
+        }
+        let g = global_exec_metrics();
+        g.filter_checked.add(self.checked());
+        g.filter_rejected.add(self.rejected());
+        g.fm_peak_atoms.record_max(self.fm_peak());
+        g.fm_calls.add(self.fm_calls());
+        g.index_probes.add(self.index_probes());
+        g.index_accesses.add(self.index_accesses());
+        g.pairs_enumerated.add(self.pairs_enumerated());
+        g.dnf_conjunctions.add(self.dnf_conjunctions());
     }
 }
 

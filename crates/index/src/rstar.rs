@@ -14,6 +14,25 @@
 
 use crate::rect::Rect;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Global observability handles for R\*-tree searches, registered once.
+/// Searches may run inside parallel workers, so only order-independent
+/// counters/histograms are recorded here — never spans.
+struct SearchMetrics {
+    searches: &'static cqa_obs::Counter,
+    node_accesses: &'static cqa_obs::Counter,
+    search_accesses: &'static cqa_obs::Histogram,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static M: OnceLock<SearchMetrics> = OnceLock::new();
+    M.get_or_init(|| SearchMetrics {
+        searches: cqa_obs::counter("index.rstar.searches"),
+        node_accesses: cqa_obs::counter("index.rstar.node_accesses"),
+        search_accesses: cqa_obs::histogram("index.rstar.search_accesses"),
+    })
+}
 
 /// Tuning parameters of the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +229,12 @@ impl<const D: usize, T: Clone + PartialEq> RStarTree<D, T> {
             }
         }
         self.accesses.fetch_add(accesses, Ordering::Relaxed);
+        if cqa_obs::metrics_enabled() {
+            let m = search_metrics();
+            m.searches.inc();
+            m.node_accesses.add(accesses);
+            m.search_accesses.record(accesses);
+        }
         (results, accesses)
     }
 

@@ -70,6 +70,36 @@ impl ScriptRunner {
         self.run_script(&script)
     }
 
+    /// Runs a single-query script with per-node tracing (the engine behind
+    /// `\explain analyze` and `\trace`): same lowering, optimization,
+    /// execution options, and target registration as [`ScriptRunner::run`],
+    /// plus the [`exec::TraceNode`] tree of the run. Multi-statement
+    /// scripts and DDL/DML are rejected — a trace describes one plan.
+    pub fn run_traced(
+        &mut self,
+        source: &str,
+    ) -> Result<(HRelation, exec::TraceNode), LangError> {
+        let script = parse_script(source)?;
+        let [stmt] = &script.statements[..] else {
+            return Err(LangError::new(1, 1, "trace expects exactly one statement"));
+        };
+        let Statement::Query { target, expr, line } = stmt else {
+            return Err(LangError::new(1, 1, "trace expects a query statement"));
+        };
+        let plan = lower_expr(expr, *line)?;
+        let plan = if self.optimize {
+            optimizer::optimize(&plan, &self.catalog)
+                .map_err(|e| LangError::new(*line, 1, e.to_string()))?
+        } else {
+            plan
+        };
+        let (result, trace) =
+            exec::execute_traced_opts(&plan, &self.catalog, &self.exec_options, &self.stats)
+                .map_err(|e| LangError::new(*line, 1, e.to_string()))?;
+        self.catalog.register(target.clone(), result.clone());
+        Ok((result, trace))
+    }
+
     /// Runs a parsed script.
     pub fn run_script(&mut self, script: &Script) -> Result<HRelation, LangError> {
         let mut last: Option<HRelation> = None;
@@ -287,6 +317,21 @@ spatial Wells {
 ").unwrap();
         assert_eq!(dropped.len(), 2);
         assert!(r.catalog().get("Land").is_err());
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_registers() {
+        let script = "R0 = select x >= 1, x <= 5 from Land\n";
+        let mut plain = runner();
+        let expected = plain.run(script).unwrap();
+        let mut traced = runner();
+        let (out, trace) = traced.run_traced(script).unwrap();
+        assert_eq!(out, expected);
+        assert!(trace.label.starts_with("Select"), "{}", trace.label);
+        assert!(traced.catalog().get("R0").is_ok(), "target registered");
+        // Only single query statements are traceable.
+        assert!(traced.run_traced("A = select x >= 1 from Land\nB = project A on landId\n").is_err());
+        assert!(traced.run_traced("drop Land\n").is_err());
     }
 
     #[test]

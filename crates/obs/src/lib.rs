@@ -1,0 +1,36 @@
+//! Unified observability layer for the CQA/CDB stack.
+//!
+//! The paper's "lessons learned" are empirical: §5's indexing comparison
+//! (one multidimensional R*-tree vs. separate 1-D indices) exists only
+//! because CQA/CDB could *measure* page accesses and probe costs per
+//! operator. This crate is the measurement substrate the rest of the
+//! workspace records into:
+//!
+//! * [`metrics`] — a process-global registry of named atomic counters,
+//!   gauges, and fixed-bucket histograms. Registration takes a lock once
+//!   per call site (call sites cache the returned `&'static` handle);
+//!   recording is a relaxed atomic op guarded by one relaxed flag load,
+//!   so a disabled registry costs a branch.
+//! * [`span`] — structured spans (FM elimination calls, index probes,
+//!   buffer-pool page accesses, plan nodes) recorded into a bounded ring
+//!   buffer. Spans carry a deterministic sequence number and payload
+//!   counters; wall-time lives in a field excluded from the determinism
+//!   digest, so traced runs compare bit-identical across thread counts.
+//! * [`json`] — a minimal JSON writer/parser (no external deps) used by
+//!   `\trace json`, `\metrics`, and the bench bins' `BENCH_*.json`.
+//!
+//! Nothing here depends on the rest of the workspace; every other crate
+//! may depend on `cqa-obs`.
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    counter, gauge, histogram, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot,
+    Counter, Gauge, Histogram, Snapshot,
+};
+pub use span::{
+    drain_spans, record_span, reset_spans, set_span_capacity, set_spans_enabled, spans_enabled,
+    Span, SpanTrace,
+};

@@ -1,0 +1,414 @@
+//! Lock-light process-global metrics registry.
+//!
+//! Naming scheme: `layer.object.metric` in lowercase snake case, e.g.
+//! `exec.filter.checked`, `index.rstar.node_accesses`,
+//! `storage.pool.io_retries`. The registry is a `BTreeMap` keyed by name,
+//! so snapshots are deterministically sorted.
+//!
+//! Cost model:
+//! * registration ([`counter`]/[`gauge`]/[`histogram`]) takes the registry
+//!   lock and leaks one allocation the first time a name is seen — call
+//!   sites cache the `&'static` handle in a `OnceLock` so this happens
+//!   once per process, not per event;
+//! * recording is a relaxed atomic add/max with no lock;
+//! * hot paths guard recording behind [`metrics_enabled`], one relaxed
+//!   load, so the disabled configuration costs a predictable branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonic counter (combined across sources by sum).
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Fresh zeroed counter (for local, non-registered use).
+    pub const fn new() -> Counter {
+        Counter { v: AtomicU64::new(0) }
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// High-water-mark gauge (combined across sources by max).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// Fresh zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge { v: AtomicU64::new(0) }
+    }
+
+    /// Raises the gauge to at least `n`.
+    pub fn record_max(&self, n: u64) {
+        self.v.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: powers of two from 1 up to 2^14, plus a
+/// final overflow bucket. Bucket `i` counts observations `v` with
+/// `v < 2^i` (and `v` not in an earlier bucket), i.e. bucket upper bounds
+/// are 1, 2, 4, …, 16384, +inf.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Fixed-bucket (power-of-two) histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub const fn new() -> Histogram {
+        const Z: AtomicU64 = AtomicU64::new(0);
+        Histogram { buckets: [Z; HISTOGRAM_BUCKETS], count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        // v < 2^i picks bucket i; 65-v.leading_zeros() would overflow the
+        // array for huge v, so clamp into the overflow bucket.
+        let idx = ((64 - u64::leading_zeros(v | 1)) as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (bucket `i` holds observations in
+    /// `[2^(i-1), 2^i)`, with bucket 0 holding 0 and the last bucket
+    /// everything ≥ 2^(BUCKETS-1)).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Resets all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether global-metric recording is on (call sites should check this
+/// before recording on hot paths). Defaults to enabled.
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global-metric recording on or off.
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Registers (or fetches) the counter named `name`. The handle is
+/// `'static`: cache it, don't call this per event.
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg.entry(name).or_insert_with(|| Metric::Counter(Box::leak(Box::default()))) {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {:?} already registered with a different kind", name),
+    }
+}
+
+/// Registers (or fetches) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg.entry(name).or_insert_with(|| Metric::Gauge(Box::leak(Box::default()))) {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {:?} already registered with a different kind", name),
+    }
+}
+
+/// Registers (or fetches) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg.entry(name).or_insert_with(|| Metric::Histogram(Box::leak(Box::default()))) {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {:?} already registered with a different kind", name),
+    }
+}
+
+/// Resets every registered metric to zero (the registry itself — names
+/// and handles — survives).
+pub fn reset_metrics() {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    for m in reg.values() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// One metric's value in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge high-water mark.
+    Gauge(u64),
+    /// Histogram count, sum, and per-bucket counts.
+    Histogram { count: u64, sum: u64, buckets: [u64; HISTOGRAM_BUCKETS] },
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    entries: Vec<(&'static str, MetricValue)>,
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    let entries = reg
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                },
+            };
+            (*name, v)
+        })
+        .collect();
+    Snapshot { entries }
+}
+
+impl Snapshot {
+    /// The captured `(name, value)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(&'static str, MetricValue)] {
+        &self.entries
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience: a counter's value, or 0 when absent/not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: a gauge's value, or 0 when absent/not a gauge.
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Human-readable one-metric-per-line rendering (sorted by name).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "{:<40} {}", name, n);
+                }
+                MetricValue::Gauge(n) => {
+                    let _ = writeln!(out, "{:<40} {} (gauge)", name, n);
+                }
+                MetricValue::Histogram { count, sum, .. } => {
+                    let mean = if *count > 0 { *sum as f64 / *count as f64 } else { 0.0 };
+                    let _ = writeln!(
+                        out,
+                        "{:<40} count={} sum={} mean={:.1} (histogram)",
+                        name, count, sum, mean
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical deterministic form for golden-snapshot diffs: counters,
+    /// gauges, and histogram counts/sums — everything here is a pure
+    /// function of the workload (no wall-clock).
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "counter {} {}", name, n);
+                }
+                MetricValue::Gauge(n) => {
+                    let _ = writeln!(out, "gauge {} {}", name, n);
+                }
+                MetricValue::Histogram { count, sum, .. } => {
+                    let _ = writeln!(out, "histogram {} count={} sum={}", name, count, sum);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object rendering, `{"name": value, ...}` with histograms as
+    /// nested objects. Keys are sorted (registry order).
+    pub fn render_json(&self) -> String {
+        use crate::json::Json;
+        let mut obj: Vec<(String, Json)> = Vec::new();
+        for (name, v) in &self.entries {
+            let val = match v {
+                MetricValue::Counter(n) => Json::from_u64(*n),
+                MetricValue::Gauge(n) => Json::from_u64(*n),
+                MetricValue::Histogram { count, sum, buckets } => Json::Obj(vec![
+                    ("count".into(), Json::from_u64(*count)),
+                    ("sum".into(), Json::from_u64(*sum)),
+                    (
+                        "buckets".into(),
+                        Json::Arr(buckets.iter().map(|b| Json::from_u64(*b)).collect()),
+                    ),
+                ]),
+            };
+            obj.push((name.to_string(), val));
+        }
+        Json::Obj(obj).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_record() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.record_max(5);
+        g.record_max(2);
+        assert_eq!(g.get(), 5);
+
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 106 + (1 << 20));
+        let b = h.buckets();
+        assert_eq!(b.iter().sum::<u64>(), 6);
+        assert_eq!(b[1], 2, "0 and 1 land in the lowest occupied bucket");
+        assert_eq!(b[HISTOGRAM_BUCKETS - 1], 1, "2^20 overflows into the last bucket");
+    }
+
+    #[test]
+    fn registry_roundtrip_and_snapshot_sorted() {
+        let c = counter("test.registry.alpha");
+        let g = gauge("test.registry.beta");
+        let h = histogram("test.registry.gamma");
+        c.add(7);
+        g.record_max(9);
+        h.record(3);
+        // Same handle on re-registration.
+        assert!(std::ptr::eq(c, counter("test.registry.alpha")));
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.registry.alpha"), 7);
+        assert_eq!(snap.gauge("test.registry.beta"), 9);
+        let names: Vec<_> = snap.entries().iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot is name-sorted");
+        assert!(snap.render_text().contains("test.registry.alpha"));
+        assert!(snap.canonical().contains("counter test.registry.alpha 7"));
+        // JSON parses back.
+        let parsed = crate::json::parse(&snap.render_json()).unwrap();
+        assert!(parsed.get("test.registry.alpha").is_some());
+    }
+
+    #[test]
+    fn enable_flag_toggles() {
+        assert!(metrics_enabled());
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+        set_metrics_enabled(true);
+    }
+}

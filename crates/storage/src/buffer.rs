@@ -12,6 +12,28 @@ use crate::page::{PageId, SlottedPage, PAGE_SIZE};
 use crate::{Result, StorageError};
 use std::collections::HashMap;
 
+/// Global observability handles for buffer-pool traffic: every pool
+/// mirrors its [`AccessStats`] increments here (when metrics are on), so
+/// `\metrics` sees storage behaviour across all pools in the process.
+struct PoolMetrics {
+    logical: &'static cqa_obs::Counter,
+    physical: &'static cqa_obs::Counter,
+    writebacks: &'static cqa_obs::Counter,
+    io_retries: &'static cqa_obs::Counter,
+    corrupt_rereads: &'static cqa_obs::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        logical: cqa_obs::counter("storage.pool.logical"),
+        physical: cqa_obs::counter("storage.pool.physical"),
+        writebacks: cqa_obs::counter("storage.pool.writebacks"),
+        io_retries: cqa_obs::counter("storage.pool.io_retries"),
+        corrupt_rereads: cqa_obs::counter("storage.pool.corrupt_rereads"),
+    })
+}
+
 /// Counters of buffer-pool traffic.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AccessStats {
@@ -49,6 +71,9 @@ fn read_with_retry<D: DiskManager>(
         match disk.read(id, buf) {
             Err(StorageError::Io(_)) if attempt < IO_ATTEMPTS => {
                 stats.io_retries += 1;
+                if cqa_obs::metrics_enabled() {
+                    pool_metrics().io_retries.inc();
+                }
                 std::thread::sleep(backoff(attempt));
                 attempt += 1;
             }
@@ -69,6 +94,9 @@ fn write_with_retry<D: DiskManager>(
         match disk.write(id, buf) {
             Err(StorageError::Io(_)) if attempt < IO_ATTEMPTS => {
                 stats.io_retries += 1;
+                if cqa_obs::metrics_enabled() {
+                    pool_metrics().io_retries.inc();
+                }
                 std::thread::sleep(backoff(attempt));
                 attempt += 1;
             }
@@ -178,6 +206,9 @@ impl<D: DiskManager> BufferPool<D> {
                 write_with_retry(&mut self.disk, &mut self.stats, frame.id, &frame.data[..])?;
                 frame.dirty = false;
                 self.stats.writebacks += 1;
+                if cqa_obs::metrics_enabled() {
+                    pool_metrics().writebacks.inc();
+                }
             }
         }
         Ok(())
@@ -198,6 +229,9 @@ impl<D: DiskManager> BufferPool<D> {
         read_with_retry(&mut self.disk, &mut self.stats, id, &mut data[..])?;
         if self.checksums && !SlottedPage::verify_checksum(&data[..]) {
             self.stats.corrupt_rereads += 1;
+            if cqa_obs::metrics_enabled() {
+                pool_metrics().corrupt_rereads.inc();
+            }
             read_with_retry(&mut self.disk, &mut self.stats, id, &mut data[..])?;
             if !SlottedPage::verify_checksum(&data[..]) {
                 return Err(StorageError::corrupt_page(id, "page checksum mismatch"));
@@ -209,13 +243,34 @@ impl<D: DiskManager> BufferPool<D> {
     fn fetch(&mut self, id: PageId) -> Result<usize> {
         self.clock += 1;
         self.stats.logical += 1;
+        let metrics_on = cqa_obs::metrics_enabled();
+        if metrics_on {
+            pool_metrics().logical.inc();
+        }
         if let Some(&idx) = self.map.get(&id) {
             self.frames[idx].last_used = self.clock;
+            if cqa_obs::spans_enabled() {
+                cqa_obs::record_span("storage.page", format!("page {}", id.0), 0, vec![
+                    ("physical", 0),
+                ]);
+            }
             return Ok(idx);
         }
         self.stats.physical += 1;
+        if metrics_on {
+            pool_metrics().physical.inc();
+        }
+        let span_start = cqa_obs::spans_enabled().then(std::time::Instant::now);
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.read_verified(id, &mut data)?;
+        if let Some(t0) = span_start {
+            cqa_obs::record_span(
+                "storage.page",
+                format!("page {}", id.0),
+                t0.elapsed().as_nanos() as u64,
+                vec![("physical", 1)],
+            );
+        }
         let idx = if self.frames.len() < self.capacity {
             self.frames.push(Frame { id, data, dirty: false, last_used: self.clock });
             self.frames.len() - 1
@@ -237,6 +292,9 @@ impl<D: DiskManager> BufferPool<D> {
                 let (old_id, stats) = (self.frames[victim].id, &mut self.stats);
                 write_with_retry(&mut self.disk, stats, old_id, &self.frames[victim].data[..])?;
                 self.stats.writebacks += 1;
+                if metrics_on {
+                    pool_metrics().writebacks.inc();
+                }
             }
             let old = &mut self.frames[victim];
             self.map.remove(&old.id);

@@ -28,4 +28,17 @@ echo "determinism gate passed: $hash1 (stable across runs and grid cells)"
 echo "== fault-matrix gate: injected storage faults stay typed =="
 cargo run -q --release -p cqa-bench --bin fault_matrix | tail -2
 
+echo "== observability gates: overhead <= 3%, golden metrics snapshot =="
+# --gate makes obs_bench exit non-zero if the metrics-enabled median
+# exceeds the metrics-disabled median by more than 3% on the bench join.
+cargo run -q --release -p cqa-bench --bin obs_bench -- --quick --gate --out /tmp/verify_obs.json
+# The seeded golden workload must reproduce the committed counter
+# snapshot exactly (counts only — no timings — so this is bit-stable).
+cargo run -q --release -p cqa-bench --bin obs_bench -- --golden > /tmp/verify_obs_golden.txt
+if ! diff -u tests/golden/metrics_seeded.txt /tmp/verify_obs_golden.txt; then
+    echo "golden metrics snapshot diverged (see diff above)" >&2
+    exit 1
+fi
+echo "golden metrics snapshot matches"
+
 echo "== verify OK =="

@@ -186,6 +186,63 @@ fn random_differences_identical_across_threads() {
     }
 }
 
+/// A 500×500 join keyed by a shared relational group attribute (so the
+/// hash pre-bucketing partitions it), projected afterwards so Fourier–
+/// Motzkin runs too. The traced evaluator must produce the same relation
+/// AND the same trace identity (labels, row counts, every counter —
+/// everything but wall time) for every thread count.
+#[test]
+fn trace_identity_invariant_across_thread_counts() {
+    let make = |id_attr: &str, seed: u64| {
+        let schema = Schema::new(vec![
+            AttrDef::str_rel("g"),
+            AttrDef::str_rel(id_attr),
+            AttrDef::rat_con("x"),
+        ])
+        .unwrap();
+        let mut rel = HRelation::new(schema);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for i in 0..500 {
+            let lo = rng.gen_range_i64(0, 500);
+            let w = rng.gen_range_i64(1, 60);
+            let g = rng.gen_range_i64(0, 50);
+            rel.insert_with(|b| {
+                b.set("g", format!("g{}", g).as_str())
+                    .set(id_attr, format!("{}{}", id_attr, i).as_str())
+                    .range("x", lo, lo + w)
+            })
+            .unwrap();
+        }
+        rel
+    };
+    let mut catalog = Catalog::new();
+    catalog.register("L", make("a", 41));
+    catalog.register("R", make("b", 42));
+    let plan = cqa::core::plan::Plan::scan("L")
+        .join(cqa::core::plan::Plan::scan("R"))
+        .project(&["g", "x"]);
+
+    let opts1 = ExecOptions::with_threads(1);
+    let (base_rel, base_trace) =
+        cqa::core::exec::execute_traced_opts(&plan, &catalog, &opts1, &ExecStats::new()).unwrap();
+    // Bucketing really kicked in: far fewer pairs than the full 250 000.
+    assert!(base_trace.children[0].pairs_enumerated > 0);
+    assert!(
+        base_trace.children[0].pairs_enumerated < 250_000 / 10,
+        "hash pre-bucketing should cut pair enumeration well below the cross product, got {}",
+        base_trace.children[0].pairs_enumerated
+    );
+    let base_id = base_trace.identity();
+    for threads in [2usize, 8] {
+        let opts = ExecOptions::with_threads(threads);
+        let (rel, trace) =
+            cqa::core::exec::execute_traced_opts(&plan, &catalog, &opts, &ExecStats::new())
+                .unwrap();
+        assert_eq!(base_rel, rel, "relation diverged at threads={}", threads);
+        assert_eq!(base_id, trace.identity(), "trace diverged at threads={}", threads);
+    }
+}
+
 /// Seeded random single-variable conjunctions for the filter-soundness
 /// check below.
 fn random_conjunction(rng: &mut Pcg32, arity: usize) -> cqa::constraints::Conjunction {
