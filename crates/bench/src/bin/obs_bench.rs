@@ -17,8 +17,16 @@
 //!   joint 2-D `[x, y]` index vs. two separate 1-D indexes, comparing
 //!   R\*-tree node accesses and refinement candidates (the paper's
 //!   multi-attribute-indexing lesson).
+//! * **Prometheus golden** (`--golden-prom`) — the same fixed workload
+//!   rendered through the canonical Prometheus exporter (timing series
+//!   skipped), for the byte-exact exposition-format golden in verify.sh.
+//! * **Flight smoke** (`--flight-smoke`) — installs the flight recorder
+//!   into a temp dir, aborts a traced join with a zero governor deadline
+//!   and then with an injected panic, and asserts both dumps parse and
+//!   carry the aborted query's span tail.
 //!
-//! Usage: `obs_bench [--quick] [--gate] [--golden] [--out PATH]`
+//! Usage: `obs_bench [--quick] [--gate] [--golden] [--golden-prom]
+//! [--flight-smoke] [--out PATH]`
 
 use cqa::core::plan::{CmpOp, Plan, Selection};
 use cqa::core::{exec, AttrDef, Catalog, ExecOptions, ExecStats, HRelation, Schema};
@@ -34,6 +42,8 @@ const OVERHEAD_LIMIT: f64 = 1.03;
 fn main() {
     let mut quick = false;
     let mut golden = false;
+    let mut golden_prom = false;
+    let mut flight_smoke = false;
     let mut gate = false;
     let mut out_path = String::from("BENCH_obs.json");
     let mut args = std::env::args().skip(1);
@@ -41,6 +51,8 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--golden" => golden = true,
+            "--golden-prom" => golden_prom = true,
+            "--flight-smoke" => flight_smoke = true,
             "--gate" => gate = true,
             "--out" => match args.next() {
                 Some(p) => out_path = p,
@@ -50,7 +62,9 @@ fn main() {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: obs_bench [--quick] [--gate] [--golden] [--out PATH]");
+                println!(
+                    "usage: obs_bench [--quick] [--gate] [--golden] [--golden-prom] [--flight-smoke] [--out PATH]"
+                );
                 return;
             }
             other => {
@@ -60,8 +74,18 @@ fn main() {
         }
     }
 
-    if golden {
-        print!("{}", golden_snapshot());
+    if golden || golden_prom {
+        run_golden_workload();
+        let snap = cqa::obs::snapshot();
+        if golden {
+            print!("{}", snap.canonical());
+        } else {
+            print!("{}", cqa::obs::prom::render_canonical(&snap));
+        }
+        return;
+    }
+    if flight_smoke {
+        run_flight_smoke();
         return;
     }
 
@@ -83,8 +107,7 @@ fn main() {
     let index_expt = index_experiment(if quick { 500 } else { 2000 });
     let breakdown = operator_breakdown(n);
 
-    let mut doc = vec![
-        ("benchmark".to_string(), Json::str("obs_bench")),
+    let metrics = vec![
         ("mode".to_string(), Json::str(if quick { "quick" } else { "full" })),
         ("seed".to_string(), Json::from_u64(SEED)),
         ("overhead".to_string(), Json::Obj(vec![
@@ -94,11 +117,10 @@ fn main() {
             ("limit".to_string(), Json::Num(OVERHEAD_LIMIT)),
             ("pass".to_string(), Json::Bool(pass)),
         ])),
+        ("index_experiment".to_string(), index_expt),
+        ("explain_analyze".to_string(), breakdown),
     ];
-    doc.push(("index_experiment".to_string(), index_expt));
-    doc.push(("explain_analyze".to_string(), breakdown));
-    let json = Json::Obj(doc).render();
-    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+    if let Err(e) = cqa_bench::report::write(&out_path, "obs_bench", metrics) {
         eprintln!("cannot write {}: {}", out_path, e);
         std::process::exit(1);
     }
@@ -145,13 +167,26 @@ fn box_relation(n: usize, seed: u64) -> HRelation {
     rel
 }
 
-/// Interleaved A/B medians of the seeded join with metrics on vs. off.
+/// Interleaved A/B medians of the seeded join with the full telemetry
+/// path on vs. off. "On" is the complete enabled configuration — metrics
+/// registry, JSONL event log, and a live background sampler — because
+/// that is what a production scrape target actually runs; "off" is the
+/// single master switch users get, which short-circuits all of it.
 fn overhead_gate(n: usize, repeats: usize) -> (f64, f64, f64) {
     let mut cat = Catalog::new();
     cat.register("L", interval_relation("aid", n, SEED));
     cat.register("R", interval_relation("bid", n, SEED ^ 0x9E37_79B9));
     let plan = Plan::scan("L").join(Plan::scan("R"));
     let opts = ExecOptions::default();
+
+    let log_path = std::env::temp_dir().join(format!("cqa-obs-bench-{}.jsonl", std::process::id()));
+    cqa::obs::eventlog::install(
+        &log_path,
+        cqa::obs::eventlog::DEFAULT_MAX_BYTES,
+        cqa::obs::eventlog::DEFAULT_MAX_FILES,
+    )
+    .expect("event log installs");
+    let sampler = cqa::obs::sampler::Sampler::start(std::time::Duration::from_millis(25), 64);
 
     let run_once = |enabled: bool| -> f64 {
         cqa::obs::set_metrics_enabled(enabled);
@@ -173,6 +208,9 @@ fn overhead_gate(n: usize, repeats: usize) -> (f64, f64, f64) {
         off.push(run_once(false));
     }
     cqa::obs::set_metrics_enabled(true);
+    drop(sampler);
+    cqa::obs::eventlog::uninstall();
+    let _ = std::fs::remove_file(&log_path);
     let med = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         v[v.len() / 2]
@@ -256,8 +294,9 @@ fn operator_breakdown(n: usize) -> Json {
 
 /// The fixed golden workload: algebra (join, project, select, difference),
 /// index-assisted selection, and a faulty buffer pool, against a freshly
-/// reset registry. Prints only order- and timing-independent values.
-fn golden_snapshot() -> String {
+/// reset registry. Both golden modes render only order- and
+/// timing-independent values from the resulting registry state.
+fn run_golden_workload() {
     cqa::obs::reset_metrics();
     cqa::obs::set_metrics_enabled(true);
 
@@ -303,6 +342,76 @@ fn golden_snapshot() -> String {
     for &p in &pages {
         pool.with_page(p, |_| ()).expect("read");
     }
+}
 
-    cqa::obs::snapshot().canonical()
+/// Flight-recorder smoke test: both trigger conditions must produce a
+/// parseable dump carrying the aborted query's span tail and plan tree.
+fn run_flight_smoke() {
+    let dir = std::env::temp_dir().join(format!("cqa-flight-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cqa::obs::flight::install(&dir, 64).expect("flight recorder installs");
+    cqa::obs::set_spans_enabled(true);
+    cqa::obs::reset_spans();
+
+    // Trigger 1: governor DeadlineExceeded. A zero timeout trips at the
+    // join's first check, after the traced scan children have already
+    // closed their spans — so the dump's tail holds the aborted query's
+    // own spans.
+    let mut cat = Catalog::new();
+    cat.register("L", interval_relation("aid", 60, SEED));
+    cat.register("R", interval_relation("bid", 60, SEED ^ 0x9E37_79B9));
+    let plan = Plan::scan("L").join(Plan::scan("R"));
+    let mut opts = ExecOptions::with_threads(2);
+    opts.governor.timeout = Some(std::time::Duration::ZERO);
+    let err = exec::execute_traced_opts(&plan, &cat, &opts, &ExecStats::new())
+        .expect_err("zero deadline must abort the join");
+    assert_eq!(err.outcome(), "deadline_exceeded", "got {:?}", err);
+
+    let dumps = cqa::obs::flight::list_dumps(&dir);
+    assert_eq!(dumps.len(), 1, "governor abort writes exactly one dump");
+    let doc = parse_dump(&dumps[0]);
+    let reason = doc.get("reason").and_then(Json::as_str).expect("reason");
+    assert!(reason.contains("deadline"), "reason {:?}", reason);
+    let spans = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(!spans.is_empty(), "dump carries the aborted query's span tail");
+    assert!(
+        spans.iter().any(|s| s
+            .get("label")
+            .and_then(Json::as_str)
+            .is_some_and(|l| l.starts_with("Scan"))),
+        "span tail holds the traced scan children"
+    );
+    let active = doc
+        .get("context")
+        .and_then(|c| c.get("active_query"))
+        .and_then(Json::as_str)
+        .expect("active_query context");
+    assert!(active.contains("Join"), "plan tree {:?}", active);
+    println!("flight smoke: governor abort -> {}", dumps[0].display());
+
+    // Trigger 2: panic hook.
+    cqa::obs::flight::install_panic_hook();
+    let caught = std::panic::catch_unwind(|| panic!("injected flight-smoke panic"));
+    assert!(caught.is_err());
+    let dumps = cqa::obs::flight::list_dumps(&dir);
+    assert_eq!(dumps.len(), 2, "panic writes a second dump");
+    let doc = parse_dump(&dumps[1]);
+    let reason = doc.get("reason").and_then(Json::as_str).expect("reason");
+    assert!(reason.contains("injected flight-smoke panic"), "reason {:?}", reason);
+    println!("flight smoke: panic hook    -> {}", dumps[1].display());
+
+    cqa::obs::flight::uninstall();
+    cqa::obs::set_spans_enabled(false);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("FLIGHT_SMOKE PASS");
+}
+
+/// Reads and parses one dump, asserting the schema envelope.
+fn parse_dump(path: &std::path::Path) -> Json {
+    let text = std::fs::read_to_string(path).expect("dump readable");
+    let doc = cqa::obs::json::parse(&text).expect("dump parses as obs JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("flight"));
+    assert!(matches!(doc.get("metrics"), Some(Json::Obj(_))), "metrics snapshot present");
+    doc
 }

@@ -19,6 +19,8 @@
 use cqa::core::ops::join_opts;
 use cqa::core::{AttrDef, ExecOptions, ExecStats, HRelation, Schema};
 use cqa::num::prng::Pcg32;
+use cqa::obs::fnv1a;
+use cqa::obs::json::Json;
 use std::time::Instant;
 
 const SEED: u64 = 0xC0FFEE;
@@ -121,8 +123,8 @@ fn main() {
         println!("note: single hardware thread — the speedup is carried by the bbox filter");
     }
 
-    let json = render_json(&cfg, &cells, hash0, speedup, rate, hw);
-    if let Err(e) = std::fs::write(&out_path, json) {
+    let metrics = report_metrics(&cfg, &cells, hash0, speedup, rate, hw);
+    if let Err(e) = cqa_bench::report::write(&out_path, "parallel_speedup", metrics) {
         eprintln!("cannot write {}: {}", out_path, e);
         std::process::exit(1);
     }
@@ -187,57 +189,52 @@ fn interval_relation(id_attr: &str, n: usize, seed: u64) -> HRelation {
     rel
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn render_json(
+fn report_metrics(
     cfg: &Config,
     cells: &[Cell],
     hash: u64,
     speedup: f64,
     rejection_rate: f64,
     hw: usize,
-) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"benchmark\": \"parallel_speedup\",\n");
-    s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode));
-    s.push_str(&format!("  \"seed\": {},\n", SEED));
-    s.push_str(&format!("  \"tuples_per_relation\": {},\n", cfg.tuples));
-    s.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
-    s.push_str(&format!("  \"hardware_threads\": {},\n", hw));
-    s.push_str(&format!("  \"result_hash\": \"{:#018x}\",\n", hash));
-    s.push_str(&format!("  \"result_rows\": {},\n", cells[0].rows));
-    s.push_str("  \"grid\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"threads\": {}, \"bbox_filter\": {}, \"median_ms\": {:.3}}}{}\n",
-            c.threads,
-            c.filter,
-            c.median_ms,
-            if i + 1 < cells.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ],\n");
+) -> Vec<(String, Json)> {
+    let round3 = |v: f64| (v * 1e3).round() / 1e3;
+    let grid = cells
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("threads".to_string(), Json::from_u64(c.threads as u64)),
+                ("bbox_filter".to_string(), Json::Bool(c.filter)),
+                ("median_ms".to_string(), Json::Num(round3(c.median_ms))),
+            ])
+        })
+        .collect();
     let default_cell = cells.iter().find(|c| c.threads == 4 && c.filter).expect("present");
-    s.push_str(&format!("  \"filter_checked\": {},\n", default_cell.checked));
-    s.push_str(&format!("  \"filter_rejected\": {},\n", default_cell.rejected));
-    s.push_str(&format!("  \"filter_rejection_rate\": {:.4},\n", rejection_rate));
-    s.push_str("  \"headline\": {\n");
-    s.push_str("    \"baseline\": \"threads=1 bbox_filter=off (pre-parallelism serial path)\",\n");
-    s.push_str("    \"candidate\": \"threads=4 bbox_filter=on (new default)\",\n");
-    s.push_str(&format!("    \"speedup\": {:.3}\n", speedup));
-    s.push_str("  },\n");
-    s.push_str(&format!(
-        "  \"note\": \"all grid cells produced byte-identical results; container exposes {} hardware thread(s), so thread scaling beyond that is flat and the bbox filter carries the speedup\"\n",
-        hw
-    ));
-    s.push_str("}\n");
-    s
+    vec![
+        ("mode".to_string(), Json::str(cfg.mode)),
+        ("seed".to_string(), Json::from_u64(SEED)),
+        ("tuples_per_relation".to_string(), Json::from_u64(cfg.tuples as u64)),
+        ("repeats".to_string(), Json::from_u64(cfg.repeats as u64)),
+        ("hardware_threads".to_string(), Json::from_u64(hw as u64)),
+        ("result_hash".to_string(), Json::str(format!("{:#018x}", hash))),
+        ("result_rows".to_string(), Json::from_u64(cells[0].rows as u64)),
+        ("grid".to_string(), Json::Arr(grid)),
+        ("filter_checked".to_string(), Json::from_u64(default_cell.checked)),
+        ("filter_rejected".to_string(), Json::from_u64(default_cell.rejected)),
+        ("filter_rejection_rate".to_string(), Json::Num((rejection_rate * 1e4).round() / 1e4)),
+        ("headline".to_string(), Json::Obj(vec![
+            (
+                "baseline".to_string(),
+                Json::str("threads=1 bbox_filter=off (pre-parallelism serial path)"),
+            ),
+            ("candidate".to_string(), Json::str("threads=4 bbox_filter=on (new default)")),
+            ("speedup".to_string(), Json::Num(round3(speedup))),
+        ])),
+        (
+            "note".to_string(),
+            Json::str(format!(
+                "all grid cells produced byte-identical results; container exposes {} hardware thread(s), so thread scaling beyond that is flat and the bbox filter carries the speedup",
+                hw
+            )),
+        ),
+    ]
 }

@@ -16,4 +16,5 @@
 //! seeded for reproducibility.
 
 pub mod experiments;
+pub mod report;
 pub mod workload;

@@ -1,0 +1,52 @@
+//! Shared shape for `BENCH_*.json` artifacts.
+//!
+//! Every harness that persists machine-readable results writes the same
+//! schema-versioned envelope so downstream tooling can ingest any bench
+//! file without per-binary parsers:
+//!
+//! ```json
+//! {"name": "obs_bench", "schema": 1, "metrics": {...}}
+//! ```
+//!
+//! The `metrics` object is harness-specific; the envelope is not. Bump
+//! [`SCHEMA_VERSION`] only on breaking envelope changes.
+
+use cqa::obs::json::Json;
+
+/// Version of the envelope (`name`/`schema`/`metrics`), not of any
+/// harness's metric set.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wraps harness metrics in the shared envelope.
+pub fn doc(name: &str, metrics: Vec<(String, Json)>) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::str(name)),
+        ("schema".to_string(), Json::from_u64(SCHEMA_VERSION)),
+        ("metrics".to_string(), Json::Obj(metrics)),
+    ])
+}
+
+/// Renders the envelope and writes it to `path` with a trailing newline.
+pub fn write(path: &str, name: &str, metrics: Vec<(String, Json)>) -> std::io::Result<()> {
+    std::fs::write(path, doc(name, metrics).render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrips_through_the_obs_parser() {
+        let d = doc(
+            "unit",
+            vec![("answer".to_string(), Json::from_u64(42))],
+        );
+        let parsed = cqa::obs::json::parse(&d.render()).expect("envelope parses");
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("unit"));
+        assert_eq!(parsed.get("schema").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            parsed.get("metrics").and_then(|m| m.get("answer")).and_then(Json::as_num),
+            Some(42.0)
+        );
+    }
+}

@@ -17,19 +17,39 @@
 //!
 //! Meta-commands: `\list` (relations), `\schema NAME`, `\show NAME`,
 //! `\plan STATEMENT` (optimized plan), `\trace [json] STATEMENT`,
-//! `\explain analyze STATEMENT`, `\metrics [reset]`, `\load FILE.cdb`,
-//! `\help`, `\quit`.
+//! `\explain analyze STATEMENT`, `\metrics [reset|export]`, `\top [N]`,
+//! `\load FILE.cdb`, `\help`, `\quit`.
+//!
+//! Telemetry flags:
+//!
+//! * `--telemetry-port N` — serve Prometheus text format on
+//!   `127.0.0.1:N/metrics` for the lifetime of the shell;
+//! * `--event-log FILE` — append query start/finish events as JSONL
+//!   (size-rotated);
+//! * `--flight-dir DIR` — install the flight recorder: panics and
+//!   governor aborts dump spans + metrics + the active plan to
+//!   `DIR/flight-*.json`.
 
 use cqa::core::{exec, optimizer, Catalog};
 use cqa::lang::lower::lower_expr;
 use cqa::lang::parse::parse_script;
 use cqa::lang::schema_def::parse_cdb;
 use cqa::lang::ScriptRunner;
+use cqa::obs::sampler::Sampler;
 use std::io::{BufRead, Write};
+
+/// Shell-owned telemetry handles: dropped (and thus cleanly shut down)
+/// when the shell exits.
+#[derive(Default)]
+struct Telemetry {
+    server: Option<cqa::obs::http::TelemetryServer>,
+    sampler: Option<Sampler>,
+}
 
 fn main() {
     let mut catalog = Catalog::new();
     let mut scripts: Vec<String> = Vec::new();
+    let mut telemetry = Telemetry::default();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,8 +60,57 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--telemetry-port" => {
+                let Some(port) = args.next().and_then(|p| p.parse::<u16>().ok()) else {
+                    eprintln!("--telemetry-port needs a port number");
+                    std::process::exit(2);
+                };
+                match cqa::obs::http::serve(("127.0.0.1", port)) {
+                    Ok(server) => {
+                        println!("telemetry: http://127.0.0.1:{}/metrics", server.port());
+                        telemetry.server = Some(server);
+                    }
+                    Err(e) => {
+                        eprintln!("cannot bind telemetry port {}: {}", port, e);
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--event-log" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--event-log needs a file argument");
+                    std::process::exit(2);
+                };
+                if let Err(e) = cqa::obs::eventlog::install(
+                    &path,
+                    cqa::obs::eventlog::DEFAULT_MAX_BYTES,
+                    cqa::obs::eventlog::DEFAULT_MAX_FILES,
+                ) {
+                    eprintln!("cannot open event log {}: {}", path, e);
+                    std::process::exit(1);
+                }
+                println!("event log: {}", path);
+            }
+            "--flight-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--flight-dir needs a directory argument");
+                    std::process::exit(2);
+                };
+                if let Err(e) = cqa::obs::flight::install(&dir, cqa::obs::flight::DEFAULT_SPAN_TAIL)
+                {
+                    eprintln!("cannot prepare flight dir {}: {}", dir, e);
+                    std::process::exit(1);
+                }
+                cqa::obs::flight::install_panic_hook();
+                // Dumps carry a span tail, so keep the ring recording.
+                cqa::obs::set_spans_enabled(true);
+                println!("flight recorder: {}", dir);
+            }
             "--help" | "-h" => {
-                println!("usage: cqa-shell [data.cdb ...] [--script queries.cqa]");
+                println!(
+                    "usage: cqa-shell [data.cdb ...] [--script queries.cqa] \
+                     [--telemetry-port N] [--event-log FILE] [--flight-dir DIR]"
+                );
                 return;
             }
             path => {
@@ -74,7 +143,8 @@ fn main() {
         }
     }
 
-    repl(&mut runner);
+    repl(&mut runner, &mut telemetry);
+    cqa::obs::eventlog::uninstall();
 }
 
 fn load_cdb(catalog: &mut Catalog, path: &str) -> Result<(), String> {
@@ -83,7 +153,7 @@ fn load_cdb(catalog: &mut Catalog, path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn repl(runner: &mut ScriptRunner) {
+fn repl(runner: &mut ScriptRunner, telemetry: &mut Telemetry) {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     let interactive = is_tty();
@@ -106,7 +176,7 @@ fn repl(runner: &mut ScriptRunner) {
             continue;
         }
         if let Some(rest) = line.strip_prefix('\\') {
-            if !meta_command(runner, rest) {
+            if !meta_command(runner, telemetry, rest) {
                 return;
             }
             continue;
@@ -119,7 +189,7 @@ fn repl(runner: &mut ScriptRunner) {
 }
 
 /// Handles a meta command; returns false to quit.
-fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
+fn meta_command(runner: &mut ScriptRunner, telemetry: &mut Telemetry, cmd: &str) -> bool {
     let (head, rest) = match cmd.split_once(char::is_whitespace) {
         Some((h, r)) => (h, r.trim()),
         None => (cmd, ""),
@@ -138,7 +208,7 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
             println!("             drop NAME");
             println!("meta:        \\list  \\schema NAME  \\show NAME  \\plan STMT");
             println!("             \\trace [json] STMT  \\explain analyze STMT");
-            println!("             \\metrics [reset]");
+            println!("             \\metrics [reset|export]  \\top [N]");
             println!("             \\set threads N  \\set filter on|off  \\set");
             println!("             \\set timeout MS|off  \\set budget fm|dnf|tuples N|off");
             println!("             \\stats governor");
@@ -202,8 +272,56 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
                 cqa::obs::reset_metrics();
                 println!("metrics reset");
             }
-            other => eprintln!("unknown metrics argument {:?} (try \\metrics reset)", other),
+            // Byte-identical to what `GET /metrics` serves for the same
+            // registry state (both call `prom::render` on a snapshot).
+            "export" => print!("{}", cqa::obs::prom::render(&cqa::obs::snapshot())),
+            other => {
+                eprintln!("unknown metrics argument {:?} (try \\metrics reset|export)", other)
+            }
         },
+        "top" => {
+            let n = rest.parse::<usize>().unwrap_or(10);
+            let sampler = telemetry.sampler.get_or_insert_with(|| {
+                Sampler::start(std::time::Duration::from_secs(1), 120)
+            });
+            match sampler.latest() {
+                None => println!(
+                    "sampler started ({} ms interval); no samples yet — re-run \\top shortly",
+                    sampler.interval().as_millis()
+                ),
+                Some(sample) => {
+                    println!(
+                        "sample #{} ({} ms interval, {} retained)",
+                        sample.seq,
+                        sampler.interval().as_millis(),
+                        sampler.samples().len()
+                    );
+                    let mut moved: Vec<(&str, u64, &str)> = sample
+                        .counters
+                        .iter()
+                        .filter(|(_, d)| *d > 0)
+                        .map(|(name, d)| (*name, *d, ""))
+                        .chain(
+                            sample
+                                .histograms
+                                .iter()
+                                .filter(|(_, d)| *d > 0)
+                                .map(|(name, d)| (*name, *d, " observations")),
+                        )
+                        .collect();
+                    moved.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                    if moved.is_empty() {
+                        println!("  (idle: nothing moved in the last interval)");
+                    }
+                    for (name, delta, suffix) in moved.iter().take(n) {
+                        println!("  {:<40} +{}{}", name, delta, suffix);
+                    }
+                    for (name, v) in sample.gauges.iter().filter(|(_, v)| *v > 0) {
+                        println!("  {:<40} {} (gauge)", name, v);
+                    }
+                }
+            }
+        }
         "plan" => match parse_script(&format!("{}\n", rest)) {
             Ok(script) if script.statements.len() == 1 => {
                 let stmt = &script.statements[0];
@@ -336,6 +454,18 @@ fn meta_command(runner: &mut ScriptRunner, cmd: &str) -> bool {
                     stats.checked(),
                     stats.rejected(),
                 );
+                let snap = cqa::obs::snapshot();
+                match (
+                    snap.histogram_quantile("exec.query.latency_us", 0.50),
+                    snap.histogram_quantile("exec.query.latency_us", 0.95),
+                    snap.histogram_quantile("exec.query.latency_us", 0.99),
+                ) {
+                    (Some(p50), Some(p95), Some(p99)) => println!(
+                        "query latency (µs): p50<={} p95<={} p99<={}",
+                        p50, p95, p99
+                    ),
+                    _ => println!("query latency: no queries recorded yet"),
+                }
             }
             other => eprintln!("unknown stats {:?} (try \\stats governor)", other),
         },

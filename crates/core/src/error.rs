@@ -78,6 +78,31 @@ impl fmt::Display for CoreError {
     }
 }
 
+impl CoreError {
+    /// Stable outcome tag for the telemetry event log: `ok` is reserved
+    /// for successful runs; errors map to `budget_exceeded`,
+    /// `deadline_exceeded`, `cancelled`, `corrupt` (storage-originated
+    /// corruption surfaced through an error message), or `error`.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            CoreError::BudgetExceeded { .. } => "budget_exceeded",
+            CoreError::DeadlineExceeded => "deadline_exceeded",
+            CoreError::Cancelled => "cancelled",
+            e if e.to_string().to_ascii_lowercase().contains("corrupt") => "corrupt",
+            _ => "error",
+        }
+    }
+
+    /// Whether this error is the governor killing the run (the flight
+    /// recorder's second trigger condition, besides panics).
+    pub fn is_governor_abort(&self) -> bool {
+        matches!(
+            self,
+            CoreError::BudgetExceeded { .. } | CoreError::DeadlineExceeded | CoreError::Cancelled
+        )
+    }
+}
+
 impl std::error::Error for CoreError {}
 
 impl From<cqa_num::par::Cancelled> for CoreError {

@@ -56,11 +56,21 @@ pub fn execute_opts(
 ) -> Result<HRelation> {
     safety::check(plan)?;
     opts.governor.arm();
+    let tel = QueryTelemetry::start(plan);
     let run = ExecStats::new();
-    let out = eval(plan, catalog, opts, &run, None)?.into_owned();
-    stats.absorb(&run);
-    finish_run(&run, opts, out.len());
-    Ok(out)
+    match eval(plan, catalog, opts, &run, None) {
+        Ok(out) => {
+            let out = out.into_owned();
+            stats.absorb(&run);
+            finish_run(&run, opts, out.len());
+            tel.finish_ok(&run, opts, out.len() as u64, None);
+            Ok(out)
+        }
+        Err(e) => {
+            tel.finish_err(&run, opts, &e);
+            Err(e)
+        }
+    }
 }
 
 /// Per-node evaluation statistics, mirroring the plan tree.
@@ -325,13 +335,23 @@ pub fn execute_traced_opts(
 ) -> Result<(HRelation, TraceNode)> {
     safety::check(plan)?;
     opts.governor.arm();
+    let tel = QueryTelemetry::start(plan);
     let run = ExecStats::new();
     let mut roots: Vec<TraceNode> = Vec::new();
-    let rel = eval(plan, catalog, opts, &run, Some(&mut roots))?.into_owned();
-    stats.absorb(&run);
-    finish_run(&run, opts, rel.len());
-    let trace = roots.pop().expect("traced eval pushes exactly one root");
-    Ok((rel, trace))
+    match eval(plan, catalog, opts, &run, Some(&mut roots)) {
+        Ok(rel) => {
+            let rel = rel.into_owned();
+            stats.absorb(&run);
+            finish_run(&run, opts, rel.len());
+            let trace = roots.pop().expect("traced eval pushes exactly one root");
+            tel.finish_ok(&run, opts, rel.len() as u64, Some(&trace));
+            Ok((rel, trace))
+        }
+        Err(e) => {
+            tel.finish_err(&run, opts, &e);
+            Err(e)
+        }
+    }
 }
 
 /// Run-end bookkeeping: mirrors the run's counters into the global
@@ -356,6 +376,136 @@ fn finish_run(run: &ExecStats, opts: &ExecOptions, rows: usize) {
     m.runs.inc();
     m.rows_out.add(rows as u64);
     m.governor_checks.add(opts.governor.checks());
+}
+
+/// Per-query telemetry: latency into the `exec.query.latency_us` timing
+/// histogram, `query_start`/`query_finish` event-log records, and
+/// flight-recorder context + abort dumps.
+///
+/// Everything is gated on the global switches ([`cqa_obs::metrics_enabled`]
+/// as the master, plus the event log's and flight recorder's own installed
+/// flags), so an unconfigured process pays a few relaxed loads per query
+/// and never renders the plan. Event-log emission is tied to the metrics
+/// switch on purpose: "metrics off" is the measured disabled-path
+/// configuration, and it must disable the whole enabled path.
+struct QueryTelemetry {
+    t0: Instant,
+    /// Correlation id shared by this query's start and finish events.
+    seq: u64,
+    /// FNV-1a hash of the rendered plan (stable across runs).
+    hash: u64,
+    logging: bool,
+    flight: bool,
+}
+
+fn latency_histogram() -> &'static cqa_obs::Histogram {
+    static H: std::sync::OnceLock<&'static cqa_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| cqa_obs::timing_histogram("exec.query.latency_us"))
+}
+
+impl QueryTelemetry {
+    fn start(plan: &Plan) -> QueryTelemetry {
+        use cqa_obs::json::Json;
+        let logging = cqa_obs::metrics_enabled() && cqa_obs::eventlog::enabled();
+        let flight = cqa_obs::flight::installed();
+        let mut tel = QueryTelemetry { t0: Instant::now(), seq: 0, hash: 0, logging, flight };
+        if !(logging || flight) {
+            return tel;
+        }
+        let text = plan.to_string();
+        tel.hash = cqa_obs::fnv1a(text.as_bytes());
+        if flight {
+            // The dump's "which query was active" payload: the rendered
+            // plan tree, replaced at every query start.
+            cqa_obs::flight::set_context("active_query", Json::str(text));
+        }
+        if logging {
+            tel.seq = cqa_obs::eventlog::next_seq();
+            cqa_obs::eventlog::emit(&Json::Obj(vec![
+                ("event".into(), Json::str("query_start")),
+                ("seq".into(), Json::from_u64(tel.seq)),
+                ("ts_ms".into(), Json::from_u64(cqa_obs::eventlog::now_ms())),
+                ("query_hash".into(), Json::str(format!("{:016x}", tel.hash))),
+            ]));
+        }
+        tel
+    }
+
+    fn finish_ok(&self, run: &ExecStats, opts: &ExecOptions, rows: u64, trace: Option<&TraceNode>) {
+        let latency_us = self.t0.elapsed().as_micros() as u64;
+        if cqa_obs::metrics_enabled() {
+            latency_histogram().record(latency_us);
+        }
+        if self.logging {
+            self.emit_finish("ok", latency_us, run, opts, rows, trace);
+        }
+    }
+
+    fn finish_err(&self, run: &ExecStats, opts: &ExecOptions, e: &crate::error::CoreError) {
+        let latency_us = self.t0.elapsed().as_micros() as u64;
+        if cqa_obs::metrics_enabled() {
+            latency_histogram().record(latency_us);
+        }
+        if self.flight && e.is_governor_abort() {
+            cqa_obs::flight::record_abort(&format!("governor abort: {}", e));
+        }
+        if self.logging {
+            self.emit_finish(e.outcome(), latency_us, run, opts, 0, None);
+        }
+    }
+
+    fn emit_finish(
+        &self,
+        outcome: &str,
+        latency_us: u64,
+        run: &ExecStats,
+        opts: &ExecOptions,
+        rows: u64,
+        trace: Option<&TraceNode>,
+    ) {
+        use cqa_obs::json::Json;
+        let lim = |l: Option<u64>| l.map(Json::from_u64).unwrap_or(Json::Null);
+        let b = &opts.governor.budgets;
+        let governor = Json::Obj(vec![
+            ("checks".into(), Json::from_u64(opts.governor.checks())),
+            ("fm_peak_atoms".into(), Json::from_u64(run.fm_peak())),
+            ("max_fm_atoms".into(), lim(b.max_fm_atoms)),
+            ("dnf_conjunctions".into(), Json::from_u64(run.dnf_conjunctions())),
+            ("max_dnf_conjunctions".into(), lim(b.max_dnf_conjunctions)),
+            ("output_tuples".into(), Json::from_u64(rows)),
+            ("max_output_tuples".into(), lim(b.max_output_tuples)),
+        ]);
+        let mut fields = vec![
+            ("event".into(), Json::str("query_finish")),
+            ("seq".into(), Json::from_u64(self.seq)),
+            ("ts_ms".into(), Json::from_u64(cqa_obs::eventlog::now_ms())),
+            ("query_hash".into(), Json::str(format!("{:016x}", self.hash))),
+            ("outcome".into(), Json::str(outcome)),
+            ("latency_us".into(), Json::from_u64(latency_us)),
+            ("rows".into(), Json::from_u64(rows)),
+            ("governor".into(), governor),
+        ];
+        if let Some(t) = trace {
+            let mut nodes = Vec::new();
+            flatten_nodes(t, &mut nodes);
+            fields.push(("nodes".into(), Json::Arr(nodes)));
+        }
+        cqa_obs::eventlog::emit(&Json::Obj(fields));
+    }
+}
+
+/// Pre-order flattening of a trace into per-node event-log entries
+/// (label, rows, selectivity).
+fn flatten_nodes(t: &TraceNode, out: &mut Vec<cqa_obs::json::Json>) {
+    use cqa_obs::json::Json;
+    out.push(Json::Obj(vec![
+        ("label".into(), Json::str(t.label.clone())),
+        ("rows".into(), Json::from_u64(t.rows as u64)),
+        ("selectivity".into(), t.selectivity().map(Json::Num).unwrap_or(Json::Null)),
+    ]));
+    for c in &t.children {
+        flatten_nodes(c, out);
+    }
 }
 
 /// The one evaluator. With `trace == None` this is plain evaluation:

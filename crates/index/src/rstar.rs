@@ -173,6 +173,41 @@ impl<const D: usize, T: Clone + PartialEq> RStarTree<D, T> {
         self.nodes.len() - self.free.len()
     }
 
+    /// Structural (node-level) equality: same height, same tree shape,
+    /// same node rectangles, and same leaf entries in the same order.
+    /// Slot indices in the arena are allowed to differ — two trees built
+    /// through different allocation histories still compare equal if
+    /// every page a query would touch is identical. Pins the contract
+    /// that the parallel STR bulk load builds the exact tree the serial
+    /// load does.
+    pub fn same_structure(&self, other: &RStarTree<D, T>) -> bool
+    where
+        T: PartialEq,
+    {
+        fn eq_node<const D: usize, T: Clone + PartialEq>(
+            a: &RStarTree<D, T>,
+            an: NodeId,
+            b: &RStarTree<D, T>,
+            bn: NodeId,
+        ) -> bool {
+            let (na, nb) = (a.node(an), b.node(bn));
+            if na.rect != nb.rect {
+                return false;
+            }
+            match (&na.kind, &nb.kind) {
+                (NodeKind::Internal(ca), NodeKind::Internal(cb)) => {
+                    ca.len() == cb.len()
+                        && ca.iter().zip(cb.iter()).all(|(&x, &y)| eq_node(a, x, b, y))
+                }
+                (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => ea == eb,
+                _ => false,
+            }
+        }
+        self.len == other.len
+            && self.height == other.height
+            && (self.is_empty() || eq_node(self, self.root, other, other.root))
+    }
+
     pub(crate) fn node(&self, id: NodeId) -> &Node<D, T> {
         &self.nodes[id.0 as usize]
     }

@@ -1,0 +1,208 @@
+//! Structured JSONL event log with size-based rotation.
+//!
+//! One JSON object per line, appended to an operator-chosen file. The
+//! exec layer emits `query_start` / `query_finish` events (query text
+//! hash, latency, per-node rows/selectivity, governor headroom, outcome);
+//! other layers are free to [`emit`] their own objects. Writes happen on
+//! the emitting thread under one mutex — queries are serialized through
+//! the shell anyway, and an uninstalled or disabled log costs a single
+//! relaxed load.
+//!
+//! Rotation: when the active file exceeds `max_bytes` after a write, it
+//! is renamed to `<path>.1` (shifting `<path>.1` → `<path>.2`, …, and
+//! dropping the oldest beyond `max_files`), and a fresh file is opened.
+//! Rotation is by rename, so a crash never leaves a half-copied log.
+//!
+//! I/O errors never propagate into query execution: the write is
+//! dropped, `obs.eventlog.errors` is incremented, and the log disables
+//! itself after the error to avoid hot-looping on a dead disk.
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default rotation threshold (1 MiB).
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 20;
+/// Default number of rotated files kept besides the active one.
+pub const DEFAULT_MAX_FILES: usize = 4;
+
+struct LogState {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    max_bytes: u64,
+    max_files: usize,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn state() -> &'static Mutex<Option<LogState>> {
+    static STATE: OnceLock<Mutex<Option<LogState>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_state() -> MutexGuard<'static, Option<LogState>> {
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether an event log is installed and accepting events. Emitting
+/// sites check this (one relaxed load) before building event payloads.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic event-correlation id: a `query_start` and its
+/// `query_finish` share one value.
+pub fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Opens (appending) the event log at `path` and starts accepting
+/// events. `max_bytes`/`max_files` bound the on-disk footprint to
+/// roughly `max_bytes * (max_files + 1)`.
+pub fn install(
+    path: impl Into<PathBuf>,
+    max_bytes: u64,
+    max_files: usize,
+) -> std::io::Result<()> {
+    let path = path.into();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut st = lock_state();
+    *st = Some(LogState { path, file, written, max_bytes: max_bytes.max(1), max_files, });
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Stops accepting events and closes the file.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *lock_state() = None;
+}
+
+fn rotated_name(path: &Path, i: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{}", i));
+    PathBuf::from(os)
+}
+
+fn rotate(st: &mut LogState) -> std::io::Result<()> {
+    if st.max_files == 0 {
+        // No archives kept: truncate in place.
+        st.file = File::create(&st.path)?;
+        st.written = 0;
+        return Ok(());
+    }
+    let _ = std::fs::remove_file(rotated_name(&st.path, st.max_files));
+    for i in (1..st.max_files).rev() {
+        let from = rotated_name(&st.path, i);
+        if from.exists() {
+            let _ = std::fs::rename(from, rotated_name(&st.path, i + 1));
+        }
+    }
+    std::fs::rename(&st.path, rotated_name(&st.path, 1))?;
+    st.file = OpenOptions::new().create(true).append(true).open(&st.path)?;
+    st.written = 0;
+    Ok(())
+}
+
+/// Appends one event as a JSONL line, rotating afterwards if the file
+/// crossed its size bound. Best-effort: on I/O failure the log counts
+/// the error and disables itself.
+pub fn emit(event: &Json) {
+    if !enabled() {
+        return;
+    }
+    let mut line = event.render();
+    line.push('\n');
+    let mut st = lock_state();
+    let Some(ls) = st.as_mut() else { return };
+    let r = ls.file.write_all(line.as_bytes()).and_then(|()| {
+        ls.written += line.len() as u64;
+        if ls.written >= ls.max_bytes {
+            rotate(ls)
+        } else {
+            Ok(())
+        }
+    });
+    if r.is_err() {
+        crate::metrics::counter("obs.eventlog.errors").inc();
+        ENABLED.store(false, Ordering::Relaxed);
+        *st = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cqa-eventlog-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    // The event log is process-global; exercise the whole lifecycle in
+    // one test so parallel scheduling can't interleave installs.
+    #[test]
+    fn lifecycle_and_rotation() {
+        assert!(!enabled(), "event log defaults to uninstalled");
+        emit(&Json::Obj(vec![("dropped".into(), Json::Bool(true))])); // no-op
+
+        let dir = tmpdir("rotate");
+        let path = dir.join("events.jsonl");
+        // Tiny rotation threshold: every event rotates.
+        install(&path, 64, 2).unwrap();
+        assert!(enabled());
+        for i in 0..5u64 {
+            emit(&Json::Obj(vec![
+                ("event".into(), Json::str("test")),
+                ("i".into(), Json::from_u64(i)),
+                ("pad".into(), Json::str("x".repeat(48))),
+            ]));
+        }
+        uninstall();
+        assert!(!enabled());
+
+        // Active file plus at most max_files archives; oldest dropped.
+        assert!(rotated_name(&path, 1).exists());
+        assert!(rotated_name(&path, 2).exists());
+        assert!(!rotated_name(&path, 3).exists());
+
+        // Every line in every generation parses as JSON.
+        let mut seen = 0;
+        for p in [path.clone(), rotated_name(&path, 1), rotated_name(&path, 2)] {
+            let text = std::fs::read_to_string(&p).unwrap_or_default();
+            for line in text.lines() {
+                let v = crate::json::parse(line).unwrap();
+                assert_eq!(v.get("event").unwrap().as_str(), Some("test"));
+                seen += 1;
+            }
+        }
+        assert!(seen >= 2, "rotation keeps the newest window, saw {}", seen);
+
+        // Reinstall appends to an existing file and accounts its size.
+        install(&path, DEFAULT_MAX_BYTES, DEFAULT_MAX_FILES).unwrap();
+        emit(&Json::Obj(vec![("event".into(), Json::str("test"))]));
+        uninstall();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,258 @@
+//! Flight recorder: crash-forensics dumps.
+//!
+//! When installed, the recorder captures a post-mortem artifact on two
+//! trigger conditions:
+//!
+//! * **panic** — [`install_panic_hook`] chains a hook that dumps before
+//!   the previous hook (usually the default backtrace printer) runs;
+//! * **governor abort** — the exec layer calls [`record_abort`] when a
+//!   query dies with `DeadlineExceeded` / `BudgetExceeded` / `Cancelled`.
+//!
+//! A dump is one JSON document, `flight-<unix_ms>-<n>.json`, containing
+//! the newest N spans (peeked, never drained — the operator's trace
+//! survives the dump), a full metrics snapshot, and whatever context the
+//! host registered (the shell stores the active query's plan tree under
+//! `"active_query"`). The file is written to a temp name and renamed, so
+//! a reader never observes a half-written dump. Everything renders
+//! through [`crate::json::Json`], so dumps round-trip through
+//! [`crate::json::parse`].
+
+use crate::error::ObsError;
+use crate::json::Json;
+use crate::span::{peek_spans, Span};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock, PoisonError};
+
+/// Default span-tail length captured per dump.
+pub const DEFAULT_SPAN_TAIL: usize = 256;
+
+struct Config {
+    dir: PathBuf,
+    span_tail: usize,
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static HOOK: Once = Once::new();
+
+fn config() -> &'static Mutex<Option<Config>> {
+    static CFG: OnceLock<Mutex<Option<Config>>> = OnceLock::new();
+    CFG.get_or_init(|| Mutex::new(None))
+}
+
+fn context() -> &'static Mutex<Vec<(String, Json)>> {
+    static CTX: OnceLock<Mutex<Vec<(String, Json)>>> = OnceLock::new();
+    CTX.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether a recorder is installed (one relaxed load; exec checks this
+/// before building abort payloads).
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Installs the recorder: dumps go to `dir` (created if missing) and
+/// carry the newest `span_tail` spans.
+pub fn install(dir: impl Into<PathBuf>, span_tail: usize) -> std::io::Result<()> {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir)?;
+    *lock(config()) = Some(Config { dir, span_tail: span_tail.max(1) });
+    INSTALLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Uninstalls the recorder (context is kept; a later reinstall resumes).
+pub fn uninstall() {
+    INSTALLED.store(false, Ordering::Relaxed);
+    *lock(config()) = None;
+}
+
+/// Upserts one context entry carried verbatim in every future dump (the
+/// shell stores the active query's plan tree here).
+pub fn set_context(key: &str, value: Json) {
+    let mut ctx = lock(context());
+    if let Some(slot) = ctx.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    } else {
+        ctx.push((key.to_string(), value));
+    }
+}
+
+/// Removes one context entry.
+pub fn clear_context(key: &str) {
+    lock(context()).retain(|(k, _)| k != key);
+}
+
+fn span_json(s: &Span) -> Json {
+    Json::Obj(vec![
+        ("seq".into(), Json::from_u64(s.seq)),
+        ("kind".into(), Json::str(s.kind)),
+        ("label".into(), Json::str(s.label.clone())),
+        ("elapsed_ns".into(), Json::from_u64(s.elapsed_ns)),
+        (
+            "counters".into(),
+            Json::Obj(s.counters.iter().map(|(n, v)| (n.to_string(), Json::from_u64(*v))).collect()),
+        ),
+    ])
+}
+
+fn build_dump(reason: &str, span_tail: usize) -> Json {
+    let trace = peek_spans(span_tail);
+    Json::Obj(vec![
+        ("schema".into(), Json::from_u64(1)),
+        ("kind".into(), Json::str("flight")),
+        ("reason".into(), Json::str(reason)),
+        ("ts_ms".into(), Json::from_u64(crate::eventlog::now_ms())),
+        ("spans_dropped".into(), Json::from_u64(trace.dropped)),
+        ("spans".into(), Json::Arr(trace.spans.iter().map(span_json).collect())),
+        ("metrics".into(), crate::metrics::snapshot().to_json()),
+        ("context".into(), Json::Obj(lock(context()).clone())),
+    ])
+}
+
+/// Writes one dump now. Errors are typed ([`ObsError::Io`]); callers on
+/// crash paths use [`record_abort`], which swallows them.
+pub fn dump(reason: &str) -> Result<PathBuf, ObsError> {
+    let (dir, span_tail) = {
+        let cfg = lock(config());
+        let Some(c) = cfg.as_ref() else {
+            return Err(ObsError::Io { op: "flight dump", msg: "recorder not installed".into() });
+        };
+        (c.dir.clone(), c.span_tail)
+    };
+    let doc = build_dump(reason, span_tail);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = format!("flight-{}-{}.json", crate::eventlog::now_ms(), n);
+    let path = dir.join(&name);
+    let tmp = dir.join(format!(".{}.tmp", name));
+    std::fs::write(&tmp, doc.render()).map_err(|e| ObsError::io("flight dump", e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| ObsError::io("flight dump", e))?;
+    Ok(path)
+}
+
+/// Best-effort dump on a governor abort (or any other "the query died"
+/// site): no-op when the recorder is uninstalled, and I/O failures are
+/// counted rather than raised — forensics must never turn a typed query
+/// error into a second failure.
+pub fn record_abort(reason: &str) -> Option<PathBuf> {
+    if !installed() {
+        return None;
+    }
+    match dump(reason) {
+        Ok(p) => Some(p),
+        Err(_) => {
+            crate::metrics::counter("obs.flight.errors").inc();
+            None
+        }
+    }
+}
+
+/// Installs a process-wide panic hook (once) that writes a flight dump
+/// before delegating to the previously installed hook. Safe to call
+/// repeatedly; dumps only happen while a recorder is installed.
+pub fn install_panic_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let at = info.location().map(|l| format!(" at {}:{}", l.file(), l.line()));
+            let _ = record_abort(&format!("panic: {}{}", msg, at.unwrap_or_default()));
+            prev(info);
+        }));
+    });
+}
+
+/// Lists the dump files currently in `dir`, newest-named last
+/// (lexicographic order matches the timestamped names).
+pub fn list_dumps(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{record_span, reset_spans, set_spans_enabled};
+
+    // Global recorder state: one lifecycle test, mirroring the span-ring
+    // and event-log test strategy.
+    #[test]
+    fn dump_roundtrips_and_panic_hook_fires() {
+        let _guard = crate::test_guard();
+        let dir =
+            std::env::temp_dir().join(format!("cqa-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(!installed());
+        assert!(record_abort("ignored").is_none(), "uninstalled recorder is a no-op");
+        assert!(dump("x").is_err());
+
+        install(&dir, 8).unwrap();
+        set_spans_enabled(true);
+        reset_spans();
+        for i in 0..12u64 {
+            record_span("test.flight", format!("s{}", i), 0, vec![("rows", i)]);
+        }
+        set_context("active_query", Json::str("Join\n  Scan \"R\"\n  Scan \"S\""));
+        let p = dump("governor abort: deadline exceeded").unwrap();
+        let doc = crate::json::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("flight"));
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 8, "span tail is bounded");
+        assert_eq!(spans.last().unwrap().get("label").unwrap().as_str(), Some("s11"));
+        assert!(doc
+            .get("context")
+            .unwrap()
+            .get("active_query")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("Join"));
+        assert!(
+            matches!(doc.get("metrics"), Some(Json::Obj(_))),
+            "metrics snapshot embedded as an object"
+        );
+        // Dumping peeked, didn't drain: the ring still holds the spans.
+        assert_eq!(crate::span::peek_spans(100).spans.len(), 12);
+
+        // Panic hook writes a second dump before unwinding continues.
+        install_panic_hook();
+        let before = list_dumps(&dir).len();
+        let r = std::panic::catch_unwind(|| panic!("injected test panic"));
+        assert!(r.is_err());
+        let dumps = list_dumps(&dir);
+        assert_eq!(dumps.len(), before + 1);
+        let doc =
+            crate::json::parse(&std::fs::read_to_string(dumps.last().unwrap()).unwrap()).unwrap();
+        let reason = doc.get("reason").unwrap().as_str().unwrap();
+        assert!(reason.contains("injected test panic"), "{}", reason);
+
+        uninstall();
+        clear_context("active_query");
+        set_spans_enabled(false);
+        reset_spans();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal blocking telemetry listener: `GET /metrics` over TCP.
+//!
+//! Std-only by design (the workspace builds offline): one accept-loop
+//! thread, one connection handled at a time, `Connection: close` on
+//! every response. That is exactly enough for a Prometheus scraper or
+//! `curl`, and deliberately nothing more — this is a diagnostics port,
+//! not a web server.
+//!
+//! The `/metrics` body is [`prom::render`] of a fresh snapshot, the same
+//! function behind the shell's `\metrics export`, so the two surfaces
+//! are byte-identical for the same registry state (verify.sh checks
+//! this).
+//!
+//! Shutdown: dropping the [`TelemetryServer`] sets a stop flag and makes
+//! a wake-up connection to its own port so the blocking `accept` returns
+//! promptly, then joins the thread.
+
+use crate::prom;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running listener; drop to stop it.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        content_type,
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    // Read until the end of the request head (or a small cap — we only
+    // need the request line, and a diagnostics port need not accept
+    // arbitrarily long requests).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = prom::render(&crate::metrics::snapshot());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "cqa telemetry: scrape /metrics\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`, or port 0 for an ephemeral port)
+/// and serves `GET /metrics` until the returned handle is dropped.
+pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_worker = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("cqa-telemetry".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_worker.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    handle(stream);
+                }
+            }
+        })?;
+    Ok(TelemetryServer { addr, stop, handle: Some(handle) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {} HTTP/1.1\r\nHost: x\r\n\r\n", path).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_stops_on_drop() {
+        crate::metrics::counter("test.http.pings").add(2);
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{}", head);
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("cqa_test_http_pings 2\n"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        let (head, body) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("scrape /metrics"));
+
+        drop(server);
+        // The port stops accepting once the server is gone (give the OS
+        // a moment to tear the listener down).
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err();
+        assert!(refused, "listener should be closed after drop");
+    }
+}

@@ -1,7 +1,9 @@
 //! Minimal JSON value, writer, and parser — enough for the repo's
-//! machine-readable surfaces (`\trace json`, `\metrics`, `BENCH_*.json`)
-//! without an external dependency. Objects preserve insertion order, so
-//! rendering is deterministic.
+//! machine-readable surfaces (`\trace json`, `\metrics`, `BENCH_*.json`,
+//! the event log, and flight dumps) without an external dependency.
+//! Objects preserve insertion order, so rendering is deterministic.
+
+use crate::error::JsonError;
 
 /// A JSON value. Numbers are `f64` (integers render without a fraction
 /// when exact).
@@ -124,14 +126,15 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Parses a JSON document. Errors carry a byte offset and message.
-pub fn parse(input: &str) -> Result<Json, String> {
+/// Parses a JSON document. Errors carry a byte offset and message
+/// ([`JsonError`]).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing input at byte {}", p.pos));
+        return Err(p.err("trailing input"));
     }
     Ok(v)
 }
@@ -142,8 +145,8 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> String {
-        format!("{} at byte {}", msg, self.pos)
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError { offset: self.pos, msg: msg.into() }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -156,7 +159,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -165,7 +168,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -174,7 +177,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -187,7 +190,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -241,7 +244,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -250,11 +253,14 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned range is ASCII by construction, but report a typed
+        // error rather than asserting it.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -277,7 +283,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -351,6 +357,15 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(parse(bad).is_err(), "{:?} should fail", bad);
         }
+    }
+
+    #[test]
+    fn errors_carry_typed_offsets() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4, "points at the bad token");
+        assert!(err.to_string().contains("at byte 4"));
+        let err = parse("{\"a\": 1} trailing").unwrap_err();
+        assert_eq!(err.msg, "trailing input");
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Prometheus text-format exposition (version 0.0.4) of a metrics
+//! [`Snapshot`] — std-only, no client library.
+//!
+//! Mapping:
+//! * registry names (`exec.filter.checked`) become metric names with
+//!   every non-`[a-zA-Z0-9_]` byte replaced by `_` and a `cqa_` prefix
+//!   (`cqa_exec_filter_checked`);
+//! * counters render as `counter`, high-water-mark gauges as `gauge`;
+//! * histograms render the full cumulative series: one
+//!   `_bucket{le="…"}` line per bucket (inclusive integer upper bounds —
+//!   exact for the power-of-two buckets — plus `+Inf`), then `_sum` and
+//!   `_count`.
+//!
+//! Output order is the snapshot's (name-sorted), so two renders of the
+//! same registry state are byte-identical — that is what lets verify.sh
+//! diff the shell's `\metrics export` against `GET /metrics`.
+//! [`render_canonical`] additionally skips timing histograms (wall-clock
+//! sums), producing a golden-diffable exporter document.
+
+use crate::metrics::{bucket_upper_bound, MetricValue, Snapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// Rewrites a registry name into a Prometheus-legal metric name.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("cqa_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, pname: &str, buckets: &[u64; HISTOGRAM_BUCKETS], sum: u64, count: u64) {
+    let _ = writeln!(out, "# TYPE {} histogram", pname);
+    let mut cum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cum += b;
+        if i == HISTOGRAM_BUCKETS - 1 {
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", pname, cum);
+        } else {
+            let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", pname, bucket_upper_bound(i), cum);
+        }
+    }
+    let _ = writeln!(out, "{}_sum {}", pname, sum);
+    let _ = writeln!(out, "{}_count {}", pname, count);
+}
+
+fn render_inner(snap: &Snapshot, skip_timing: bool) -> String {
+    let mut out = String::new();
+    for (name, v) in snap.entries() {
+        let pname = sanitize(name);
+        match v {
+            MetricValue::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {} counter", pname);
+                let _ = writeln!(out, "{} {}", pname, n);
+            }
+            MetricValue::Gauge(n) => {
+                let _ = writeln!(out, "# TYPE {} gauge", pname);
+                let _ = writeln!(out, "{} {}", pname, n);
+            }
+            MetricValue::Histogram { count, sum, buckets, timing } => {
+                if *timing && skip_timing {
+                    continue;
+                }
+                write_histogram(&mut out, &pname, buckets, *sum, *count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the full snapshot, timing histograms included. Deterministic
+/// for a fixed registry state (name-sorted, no timestamps).
+pub fn render(snap: &Snapshot) -> String {
+    render_inner(snap, false)
+}
+
+/// Renders the snapshot minus timing histograms, i.e. only series that
+/// are pure functions of the workload. This is the golden-snapshot form.
+pub fn render_canonical(snap: &Snapshot) -> String {
+    render_inner(snap, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("exec.filter.checked"), "cqa_exec_filter_checked");
+        assert_eq!(sanitize("a-b c"), "cqa_a_b_c");
+    }
+
+    // One test: the exporter reads the process-global registry, so
+    // interleaving with other registry tests would race on values.
+    #[test]
+    fn renders_all_kinds_cumulatively() {
+        metrics::counter("test.prom.hits").add(3);
+        metrics::gauge("test.prom.depth").record_max(9);
+        let h = metrics::histogram("test.prom.rows");
+        h.record(1); // bucket 1 (le 1)
+        h.record(5); // bucket 3 (le 7)
+        h.record(5);
+        metrics::counter("test.prom.zero"); // registered, never incremented
+        metrics::timing_histogram("test.prom.lat_us").record(100);
+
+        let snap = metrics::snapshot();
+        let text = render(&snap);
+
+        assert!(text.contains("# TYPE cqa_test_prom_hits counter\ncqa_test_prom_hits 3\n"));
+        assert!(text.contains("# TYPE cqa_test_prom_depth gauge\ncqa_test_prom_depth 9\n"));
+        // Zero-valued series still render (scrapers need the series to
+        // exist to rate() it later).
+        assert!(text.contains("cqa_test_prom_zero 0\n"));
+        // Cumulative buckets: le=1 sees 1 obs, le=7 sees all 3.
+        assert!(text.contains("cqa_test_prom_rows_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("cqa_test_prom_rows_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("cqa_test_prom_rows_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("cqa_test_prom_rows_sum 11\n"));
+        assert!(text.contains("cqa_test_prom_rows_count 3\n"));
+        // Empty histograms render a full all-zero series.
+        let empty = metrics::histogram("test.prom.empty");
+        assert_eq!(empty.count(), 0);
+        let text = render(&metrics::snapshot());
+        assert!(text.contains("cqa_test_prom_empty_bucket{le=\"0\"} 0\n"));
+        assert!(text.contains("cqa_test_prom_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("cqa_test_prom_empty_count 0\n"));
+
+        // Timing histograms appear in the full render but not the
+        // canonical one; deterministic series appear in both.
+        assert!(text.contains("cqa_test_prom_lat_us_count 1\n"));
+        let canon = render_canonical(&metrics::snapshot());
+        assert!(!canon.contains("cqa_test_prom_lat_us"));
+        assert!(canon.contains("cqa_test_prom_rows_count 3\n"));
+
+        // Determinism: rendering the same snapshot twice is byte-equal.
+        let snap = metrics::snapshot();
+        assert_eq!(render(&snap), render(&snap));
+    }
+}

@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Default ring capacity.
 pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
@@ -106,6 +106,14 @@ fn ring() -> &'static Mutex<Ring> {
     })
 }
 
+// A poisoned ring means a recording thread panicked; the ring only holds
+// completed spans, which stay valid, so recover the guard. This matters
+// for the flight recorder: its panic-hook dump must still be able to
+// read the span tail.
+fn lock_ring() -> MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Whether span recording is on. Defaults to off — spans cost a mutex
 /// push each, so only traced/analyzed runs enable them.
 pub fn spans_enabled() -> bool {
@@ -119,7 +127,7 @@ pub fn set_spans_enabled(on: bool) {
 
 /// Sets the ring capacity (existing overflow is evicted oldest-first).
 pub fn set_span_capacity(capacity: usize) {
-    let mut r = ring().lock().expect("span ring poisoned");
+    let mut r = lock_ring();
     r.capacity = capacity.max(1);
     while r.spans.len() > r.capacity {
         r.spans.pop_front();
@@ -135,7 +143,7 @@ pub fn record_span(kind: &'static str, label: String, elapsed_ns: u64, counters:
     }
     let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
     let span = Span { seq, kind, label, elapsed_ns, counters };
-    let mut r = ring().lock().expect("span ring poisoned");
+    let mut r = lock_ring();
     if r.spans.len() >= r.capacity {
         r.spans.pop_front();
         r.dropped += 1;
@@ -147,16 +155,27 @@ pub fn record_span(kind: &'static str, label: String, elapsed_ns: u64, counters:
 /// [`reset_spans`]) and empties it. The drained spans are already in
 /// ascending `seq` order.
 pub fn drain_spans() -> SpanTrace {
-    let mut r = ring().lock().expect("span ring poisoned");
+    let mut r = lock_ring();
     let spans = r.spans.drain(..).collect();
     let dropped = std::mem::take(&mut r.dropped);
     SpanTrace { spans, dropped }
 }
 
+/// Copies the newest `n` spans without draining the ring. This is the
+/// flight recorder's read path: a crash dump must not perturb the trace
+/// an operator later drains (and readers like the sampler must never
+/// *write* into the ring).
+pub fn peek_spans(n: usize) -> SpanTrace {
+    let r = lock_ring();
+    let skip = r.spans.len().saturating_sub(n);
+    let spans = r.spans.iter().skip(skip).cloned().collect();
+    SpanTrace { spans, dropped: r.dropped }
+}
+
 /// Empties the ring and restarts sequence numbering from zero (so two
 /// identical workloads traced back-to-back produce identical traces).
 pub fn reset_spans() {
-    let mut r = ring().lock().expect("span ring poisoned");
+    let mut r = lock_ring();
     r.spans.clear();
     r.dropped = 0;
     NEXT_SEQ.store(0, Ordering::Relaxed);
@@ -170,6 +189,7 @@ mod tests {
     // test so parallel test scheduling can't interleave ring state.
     #[test]
     fn ring_lifecycle() {
+        let _guard = crate::test_guard();
         assert!(!spans_enabled(), "spans default off");
         record_span("test.kind", "ignored".into(), 1, vec![]);
         assert!(drain_spans().spans.is_empty(), "disabled recording is a no-op");
@@ -178,6 +198,11 @@ mod tests {
         reset_spans();
         record_span("test.kind", "a".into(), 10, vec![("rows", 3)]);
         record_span("test.kind", "b".into(), 20, vec![("rows", 5)]);
+        // Peeking is non-destructive and windows from the newest end.
+        let peeked = peek_spans(1);
+        assert_eq!(peeked.spans.len(), 1);
+        assert_eq!(peeked.spans[0].label, "b");
+        assert_eq!(peek_spans(10).spans.len(), 2);
         let t = drain_spans();
         assert_eq!(t.spans.len(), 2);
         assert_eq!(t.dropped, 0);

@@ -29,8 +29,9 @@ echo "== fault-matrix gate: injected storage faults stay typed =="
 cargo run -q --release -p cqa-bench --bin fault_matrix | tail -2
 
 echo "== observability gates: overhead <= 3%, golden metrics snapshot =="
-# --gate makes obs_bench exit non-zero if the metrics-enabled median
-# exceeds the metrics-disabled median by more than 3% on the bench join.
+# --gate makes obs_bench exit non-zero if the full telemetry-enabled
+# median (metrics + event log + live sampler) exceeds the disabled
+# median by more than 3% on the bench join.
 cargo run -q --release -p cqa-bench --bin obs_bench -- --quick --gate --out /tmp/verify_obs.json
 # The seeded golden workload must reproduce the committed counter
 # snapshot exactly (counts only — no timings — so this is bit-stable).
@@ -40,5 +41,23 @@ if ! diff -u tests/golden/metrics_seeded.txt /tmp/verify_obs_golden.txt; then
     exit 1
 fi
 echo "golden metrics snapshot matches"
+
+echo "== telemetry export gate: canonical Prometheus exposition =="
+# The same seeded workload rendered through the canonical exporter
+# (timing series skipped) must match byte-for-byte — this is the text a
+# scraper sees on GET /metrics, minus the wall-clock-dependent series.
+cargo run -q --release -p cqa-bench --bin obs_bench -- --golden-prom > /tmp/verify_obs_prom.txt
+if ! diff -u tests/golden/prometheus_seeded.txt /tmp/verify_obs_prom.txt; then
+    echo "golden Prometheus exposition diverged (see diff above)" >&2
+    exit 1
+fi
+echo "golden Prometheus exposition matches"
+
+echo "== flight-recorder smoke: governor abort + panic both dump =="
+cargo run -q --release -p cqa-bench --bin obs_bench -- --flight-smoke 2>/dev/null | grep FLIGHT_SMOKE
+
+echo "== clippy (obs crate, -D warnings) =="
+cargo clippy -q -p cqa-obs -- -D warnings
+echo "clippy clean"
 
 echo "== verify OK =="

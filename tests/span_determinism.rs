@@ -53,6 +53,10 @@ fn span_sequence_identical_across_thread_counts() {
     );
 
     cqa::obs::set_spans_enabled(true);
+    // A live background sampler must not perturb the sequence: it only
+    // reads the registry, never the span ring. Keeping one running for
+    // the whole comparison pins that contract.
+    let sampler = cqa::obs::Sampler::start(std::time::Duration::from_millis(2), 32);
     let mut identities: Vec<String> = Vec::new();
     let mut results = Vec::new();
     for threads in [1usize, 2, 8] {
@@ -71,6 +75,14 @@ fn span_sequence_identical_across_thread_counts() {
     }
     cqa::obs::set_spans_enabled(false);
     cqa::obs::reset_spans();
+    // The sampler actually ran during the comparison (the workload takes
+    // many multiples of its tick), then stops cleanly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while sampler.latest().is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(sampler.latest().is_some(), "sampler collected no samples");
+    drop(sampler);
 
     for (i, threads) in [2usize, 8].iter().enumerate() {
         assert_eq!(identities[0], identities[i + 1], "span ring diverged at threads={}", threads);
